@@ -1,0 +1,46 @@
+// Command radius-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	radius-bench -list
+//	radius-bench -exp table4 -scale default
+//	radius-bench -exp all -scale tiny
+//
+// Scales: tiny (seconds), default (minutes), full (closer to the paper's
+// sizes; expect long runtimes — preprocessing is Θ(nρ²)).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"radiusstep/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	scale := flag.String("scale", "default", "tiny | default | full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	sc, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	if err := bench.RunExperiment(os.Stdout, *exp, sc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# done in %v (scale=%s)\n", time.Since(start).Round(time.Millisecond), sc.Name)
+}

@@ -1,0 +1,130 @@
+package radiusstep_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// CLI smoke tests: build each command once into a temp dir and exercise
+// its main flag paths end to end.
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI builds take a few seconds")
+	}
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "radiusstep-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"radius-bench", "sssp", "graphgen"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				cliErr = err
+				_ = out
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, dir, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIBenchList(t *testing.T) {
+	dir := buildCLIs(t)
+	out, err := runCLI(t, dir, "radius-bench", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"table4", "fig3", "ablation-k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in list:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	dir := buildCLIs(t)
+	out, err := runCLI(t, dir, "radius-bench", "-exp", "fig1", "-scale", "tiny")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "# done in") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// Unknown experiment and scale fail with nonzero status.
+	if _, err := runCLI(t, dir, "radius-bench", "-exp", "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := runCLI(t, dir, "radius-bench", "-scale", "nope"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestCLISsspAlgorithms(t *testing.T) {
+	dir := buildCLIs(t)
+	for _, algo := range []string{"radius", "dijkstra", "delta", "bellmanford", "bfs"} {
+		out, err := runCLI(t, dir, "sssp",
+			"-gen", "grid2d", "-n", "400", "-weights", "100", "-algo", algo, "-verify")
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", algo, err, out)
+		}
+		if algo != "bfs" && !strings.Contains(out, "certificate OK") {
+			t.Fatalf("%s: not verified:\n%s", algo, out)
+		}
+		if !strings.Contains(out, "reached") {
+			t.Fatalf("%s: missing summary:\n%s", algo, out)
+		}
+	}
+	if _, err := runCLI(t, dir, "sssp", "-gen", "bogus"); err == nil {
+		t.Fatal("bogus generator accepted")
+	}
+	if _, err := runCLI(t, dir, "sssp"); err == nil {
+		t.Fatal("missing -gen/-in accepted")
+	}
+}
+
+func TestCLIGraphgenAndSsspFile(t *testing.T) {
+	dir := buildCLIs(t)
+	gpath := filepath.Join(dir, "g.txt")
+	out, err := runCLI(t, dir, "graphgen", "-kind", "web", "-n", "500", "-weights", "50", "-o", gpath)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "wrote web") {
+		t.Fatalf("graphgen summary missing:\n%s", out)
+	}
+	out, err = runCLI(t, dir, "sssp", "-in", gpath, "-algo", "radius", "-rho", "8", "-verify")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "certificate OK") {
+		t.Fatalf("file-based solve not verified:\n%s", out)
+	}
+	// Binary output round-trips through size report only (sssp reads text).
+	out, err = runCLI(t, dir, "graphgen", "-kind", "grid2d", "-n", "100", "-binary", "-o", filepath.Join(dir, "g.bin"))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+}

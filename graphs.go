@@ -1,0 +1,200 @@
+package radiusstep
+
+import (
+	"fmt"
+	"io"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/check"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+)
+
+// --- construction --------------------------------------------------------
+
+// Builder accumulates undirected edges and produces a Graph; self-loops
+// are dropped and parallel edges merged keeping the lightest weight.
+type Builder = graph.Builder
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a simple undirected Graph from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// AddShortcuts returns g plus extra edges (minimum weights kept).
+func AddShortcuts(g *Graph, extra []Edge) *Graph { return graph.AddShortcuts(g, extra) }
+
+// Edges returns g's undirected edge list (each edge once, U < V).
+func Edges(g *Graph) []Edge { return graph.Edges(g) }
+
+// Validate checks the structural invariants of g.
+func Validate(g *Graph) error { return graph.Validate(g) }
+
+// LargestComponent returns the densely relabeled largest connected
+// component of g and the mapping from new ids to original ids.
+func LargestComponent(g *Graph) (*Graph, []Vertex) { return graph.LargestComponent(g) }
+
+// IsConnected reports whether g has one connected component.
+func IsConnected(g *Graph) bool { return graph.IsConnected(g) }
+
+// UnitWeights returns a copy of g with all weights set to 1.
+func UnitWeights(g *Graph) *Graph { return graph.UnitWeights(g) }
+
+// --- reordering ----------------------------------------------------------
+
+// ReorderBFS relabels g in breadth-first order from root, improving the
+// cache locality of traversals on high-diameter graphs (roads, grids).
+// It returns the relabeled graph and the permutation (perm[old] = new).
+func ReorderBFS(g *Graph, root Vertex) (*Graph, []Vertex) { return graph.ReorderBFS(g, root) }
+
+// ReorderByDegree relabels g in descending-degree order, clustering hubs
+// at the front (helpful on scale-free graphs).
+func ReorderByDegree(g *Graph) (*Graph, []Vertex) { return graph.ReorderByDegree(g) }
+
+// PermuteFloats maps a value vector through a relabeling permutation:
+// out[perm[i]] = in[i] (for carrying distances across ReorderBFS etc.).
+func PermuteFloats(in []float64, perm []Vertex) []float64 { return graph.PermuteFloats(in, perm) }
+
+// --- serialization -------------------------------------------------------
+
+// ReadGraph parses the text edge-list format ("p sssp n m" header).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
+
+// WriteGraph serializes g in the text edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteText(w, g) }
+
+// ReadGraphBinary parses the compact binary CSR format.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteGraphBinary serializes g in the compact binary CSR format.
+func WriteGraphBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// --- generators ----------------------------------------------------------
+
+// Grid2D returns the nx × ny unit-weight grid graph.
+func Grid2D(nx, ny int) *Graph { return gen.Grid2D(nx, ny) }
+
+// Grid3D returns the nx × ny × nz unit-weight grid graph.
+func Grid3D(nx, ny, nz int) *Graph { return gen.Grid3D(nx, ny, nz) }
+
+// RoadNet returns a random geometric graph resembling a road network:
+// near-planar, constant average degree avgDeg, Θ(√n) diameter.
+func RoadNet(n int, avgDeg float64, seed uint64) *Graph { return gen.RoadNet(n, avgDeg, seed) }
+
+// ScaleFree returns a Barabási–Albert preferential-attachment graph
+// (each vertex attaches to `attach` earlier vertices), resembling web
+// and social graphs: skewed degrees, hub vertices, small diameter.
+func ScaleFree(n, attach int, seed uint64) *Graph { return gen.ScaleFree(n, attach, seed) }
+
+// ErdosRenyi returns a uniform random graph with n vertices, m edges.
+func ErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// RandomConnected returns a connected random graph (spanning tree plus
+// random extra edges up to m).
+func RandomConnected(n, m int, seed uint64) *Graph { return gen.RandomConnected(n, m, seed) }
+
+// Comb returns the paper's Figure-2 pathological sparse graph on which
+// reaching 3d vertices from any vertex costs Θ(d²) edge looks.
+func Comb(d int) *Graph { return gen.Comb(d) }
+
+// WithUniformIntWeights copies g with weights drawn uniformly from
+// {lo..hi}, the paper's experimental weighting (1..10⁴).
+func WithUniformIntWeights(g *Graph, lo, hi int, seed uint64) *Graph {
+	return gen.WithUniformIntWeights(g, lo, hi, seed)
+}
+
+// RMAT generates a recursive-matrix graph with 2^scale vertices and up
+// to m edges (Chakrabarti et al. parameters a, b, c; d = 1-a-b-c).
+func RMAT(scale, m int, a, b, c float64, seed uint64) *Graph {
+	return gen.RMAT(scale, m, a, b, c, seed)
+}
+
+// SmallWorld generates a Watts–Strogatz graph: ring lattice with k
+// neighbors per vertex, each edge rewired with probability beta.
+func SmallWorld(n, k int, beta float64, seed uint64) *Graph {
+	return gen.SmallWorld(n, k, beta, seed)
+}
+
+// GenerateByName builds a graph from a family name, the dispatcher the
+// CLI tools use: grid2d, grid3d, road, web, er, rmat, smallworld, comb.
+// n is interpreted per family (side² for grid2d, comb takes d = n).
+func GenerateByName(kind string, n int, seed uint64) (*Graph, error) {
+	switch kind {
+	case "grid2d":
+		side := intSqrt(n)
+		return gen.Grid2D(side, side), nil
+	case "grid3d":
+		side := intCbrt(n)
+		return gen.Grid3D(side, side, side), nil
+	case "road":
+		g, _ := graph.LargestComponent(gen.RoadNet(n, 6, seed))
+		return g, nil
+	case "web":
+		return gen.ScaleFree(n, 7, seed), nil
+	case "er":
+		return gen.ErdosRenyi(n, 4*n, seed), nil
+	case "rmat":
+		scale := 1
+		for 1<<scale < n && scale < 30 {
+			scale++
+		}
+		g, _ := graph.LargestComponent(gen.RMATDefault(scale, 8*n, seed))
+		return g, nil
+	case "smallworld":
+		return gen.SmallWorld(max(n, 4), 4, 0.05, seed), nil
+	case "comb":
+		return gen.Comb(max(n, 2)), nil
+	default:
+		return nil, fmt.Errorf("radiusstep: unknown graph family %q", kind)
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func intCbrt(n int) int {
+	s := 1
+	for (s+1)*(s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// --- baselines -----------------------------------------------------------
+
+// Dijkstra computes SSSP distances with the sequential heap algorithm —
+// the work baseline radius-stepping is compared against.
+func Dijkstra(g *Graph, src Vertex) []float64 { return baseline.Dijkstra(g, src) }
+
+// BellmanFord computes SSSP with synchronous relaxation rounds,
+// returning distances and the number of rounds.
+func BellmanFord(g *Graph, src Vertex) ([]float64, int) { return baseline.BellmanFord(g, src) }
+
+// DeltaStats reports the phase structure of a ∆-stepping run.
+type DeltaStats = baseline.DeltaStats
+
+// DeltaStepping runs the Meyer–Sanders algorithm with bucket width delta.
+func DeltaStepping(g *Graph, src Vertex, delta float64) ([]float64, DeltaStats) {
+	return baseline.DeltaStepping(g, src, delta)
+}
+
+// BFS runs breadth-first search, returning hop distances (-1 when
+// unreachable) and the eccentricity-style level count.
+func BFS(g *Graph, src Vertex) ([]int32, int) { return baseline.BFS(g, src) }
+
+// BFSParallel is the level-synchronous parallel BFS.
+func BFSParallel(g *Graph, src Vertex) ([]int32, int) { return baseline.BFSParallel(g, src) }
+
+// --- verification --------------------------------------------------------
+
+// VerifyDistances checks the SSSP optimality certificate for dist: it
+// returns nil exactly when dist is the true distance vector from src.
+func VerifyDistances(g *Graph, src Vertex, dist []float64) error {
+	return check.VerifyDistances(g, src, dist)
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"math"
+	"sync/atomic"
+
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// BellmanFord computes SSSP distances with round-synchronous relaxation
+// from the changed frontier, returning the distances and the number of
+// rounds until fixpoint (including the final no-change round). It is the
+// r(v) = ∞ degenerate case of radius-stepping: a single step of many
+// substeps.
+func BellmanFord(g *graph.CSR, src graph.V) ([]float64, int) {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	frontier := []graph.V{src}
+	inNext := make([]bool, n)
+	rounds := 0
+	var snap []float64
+	for len(frontier) > 0 {
+		rounds++
+		// Synchronous (Jacobi) rounds: sources relax with their
+		// distance as of the round start, so round counts match the
+		// parallel variant exactly.
+		snap = snap[:0]
+		for _, u := range frontier {
+			snap = append(snap, dist[u])
+		}
+		var next []graph.V
+		for fi, u := range frontier {
+			adj, ws := g.Neighbors(u)
+			du := snap[fi]
+			for i, v := range adj {
+				if nd := du + ws[i]; nd < dist[v] {
+					dist[v] = nd
+					if !inNext[v] {
+						inNext[v] = true
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			inNext[v] = false
+		}
+		frontier = next
+	}
+	// The last executed round produced no updates: it is the natural
+	// "until no δ(v) was updated" check, already counted.
+	return dist, rounds
+}
+
+// BellmanFordParallel is the parallel variant: each round relaxes all
+// frontier edges concurrently with priority-writes and claims each newly
+// updated vertex exactly once for the next frontier.
+func BellmanFordParallel(g *graph.CSR, src graph.V) ([]float64, int) {
+	n := g.NumVertices()
+	bits := make([]uint64, n)
+	parallel.Fill(bits, parallel.InfBits)
+	bits[src] = parallel.ToBits(0)
+	stamp := make([]uint32, n)
+	frontier := []graph.V{src}
+	round := uint32(0)
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		round++
+		next := relaxFrontier(g, bits, stamp, round, frontier)
+		frontier = next
+	}
+	return parallel.BitsToFloats(bits), rounds
+}
+
+// relaxFrontier relaxes every arc out of frontier with WriteMin and
+// returns the deduplicated set of vertices whose distance improved.
+// Rounds are synchronous (sources snapshotted first), so round counts
+// are deterministic. Shared by the parallel baselines.
+func relaxFrontier(g *graph.CSR, bits []uint64, stamp []uint32, round uint32, frontier []graph.V) []graph.V {
+	p := parallel.Procs()
+	parts := make([][]graph.V, p)
+	snap := make([]float64, len(frontier))
+	parallel.For(len(frontier), func(i int) {
+		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
+	})
+	parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
+		var local []graph.V
+		for {
+			i, ok := claim()
+			if !ok {
+				break
+			}
+			u := frontier[i]
+			du := snap[i]
+			adj, ws := g.Neighbors(u)
+			for j, v := range adj {
+				nb := parallel.ToBits(du + ws[j])
+				if parallel.WriteMin(&bits[v], nb) {
+					if parallel.Claim(&stamp[v], round) {
+						local = append(local, v)
+					}
+				}
+			}
+		}
+		parts[w] = local
+	})
+	var next []graph.V
+	for _, part := range parts {
+		next = append(next, part...)
+	}
+	return next
+}

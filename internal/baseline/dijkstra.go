@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"math"
+
+	"radiusstep/internal/graph"
+)
+
+// Dijkstra computes single-source shortest-path distances from src with
+// the classic heap-based algorithm. Unreachable vertices get +Inf. This is
+// the sequential work baseline and the ground truth for all tests.
+func Dijkstra(g *graph.CSR, src graph.V) []float64 {
+	dist, _ := DijkstraTree(g, src)
+	return dist
+}
+
+// DijkstraTree additionally returns a shortest-path tree as a parent
+// array (parent[src] == src; -1 for unreachable vertices). Among equal
+// distance paths it prefers the one with fewer hops, the tie-break the
+// preprocessing heuristics need (§4.2.2).
+func DijkstraTree(g *graph.CSR, src graph.V) ([]float64, []graph.V) {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	hops := make([]int32, n)
+	parent := make([]graph.V, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	h := newVertexHeap(n)
+	h.DecreaseKey(src, 0)
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.PopMin()
+		done[u] = true
+		adj, ws := g.Neighbors(u)
+		for i, v := range adj {
+			if done[v] {
+				continue
+			}
+			nd := du + ws[i]
+			switch {
+			case nd < dist[v]:
+				dist[v] = nd
+				hops[v] = hops[u] + 1
+				parent[v] = u
+				h.DecreaseKey(v, nd)
+			case nd == dist[v] && hops[u]+1 < hops[v]:
+				hops[v] = hops[u] + 1
+				parent[v] = u
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DijkstraSteps runs Dijkstra counting extraction "steps" where vertices
+// with equal distance are extracted together; the source's own d=0
+// extraction is not counted (radius-stepping pre-settles the source).
+// This equals Radius-Stepping with r(v) = 0 and is what Table 6's ρ=1
+// row measures.
+func DijkstraSteps(g *graph.CSR, src graph.V) (dist []float64, steps int) {
+	n := g.NumVertices()
+	dist = make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := newVertexHeap(n)
+	h.DecreaseKey(src, 0)
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		if h.key[h.heap[0]] > 0 {
+			steps++
+		}
+		// Extract the whole equal-distance class.
+		_, d := h.heap[0], h.key[h.heap[0]]
+		var batch []graph.V
+		for h.Len() > 0 {
+			if h.key[h.heap[0]] != d {
+				break
+			}
+			u, _ := h.PopMin()
+			done[u] = true
+			batch = append(batch, u)
+		}
+		for _, u := range batch {
+			adj, ws := g.Neighbors(u)
+			for i, v := range adj {
+				if done[v] {
+					continue
+				}
+				if nd := dist[u] + ws[i]; nd < dist[v] {
+					dist[v] = nd
+					h.DecreaseKey(v, nd)
+				}
+			}
+		}
+	}
+	return dist, steps
+}

@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"math"
+
+	"radiusstep/internal/graph"
+)
+
+// pairingHeap is an indexed pairing heap over vertices keyed by float64 —
+// the practical counterpart of the Fibonacci heap the paper cites for
+// Dijkstra (amortized O(1) decrease-key, O(log n) delete-min). It exists
+// to ablate the priority-queue choice against the binary heap.
+type pairingHeap struct {
+	key    []float64
+	root   graph.V
+	child  []graph.V // first child
+	sib    []graph.V // next sibling
+	prev   []graph.V // previous sibling or parent
+	inHeap []bool
+	size   int
+}
+
+func newPairingHeap(n int) *pairingHeap {
+	h := &pairingHeap{
+		key:    make([]float64, n),
+		root:   -1,
+		child:  make([]graph.V, n),
+		sib:    make([]graph.V, n),
+		prev:   make([]graph.V, n),
+		inHeap: make([]bool, n),
+	}
+	for i := range h.key {
+		h.key[i] = math.Inf(1)
+		h.child[i] = -1
+		h.sib[i] = -1
+		h.prev[i] = -1
+	}
+	return h
+}
+
+func (h *pairingHeap) Len() int { return h.size }
+
+// meld links two heap roots, returning the smaller-keyed one.
+func (h *pairingHeap) meld(a, b graph.V) graph.V {
+	if a == -1 {
+		return b
+	}
+	if b == -1 {
+		return a
+	}
+	if h.key[b] < h.key[a] {
+		a, b = b, a
+	}
+	// b becomes a's first child.
+	h.sib[b] = h.child[a]
+	if h.child[a] != -1 {
+		h.prev[h.child[a]] = b
+	}
+	h.prev[b] = a
+	h.child[a] = b
+	return a
+}
+
+// DecreaseKey inserts v with key k or lowers its key to k.
+func (h *pairingHeap) DecreaseKey(v graph.V, k float64) {
+	if !h.inHeap[v] {
+		h.key[v] = k
+		h.inHeap[v] = true
+		h.child[v] = -1
+		h.sib[v] = -1
+		h.prev[v] = -1
+		h.size++
+		h.root = h.meld(h.root, v)
+		return
+	}
+	if k > h.key[v] {
+		panic("baseline: pairing DecreaseKey would raise a key")
+	}
+	h.key[v] = k
+	if v == h.root {
+		return
+	}
+	// Detach v from its sibling list and meld with the root.
+	p := h.prev[v]
+	if h.child[p] == v {
+		h.child[p] = h.sib[v]
+	} else {
+		h.sib[p] = h.sib[v]
+	}
+	if h.sib[v] != -1 {
+		h.prev[h.sib[v]] = p
+	}
+	h.sib[v] = -1
+	h.prev[v] = -1
+	h.root = h.meld(h.root, v)
+}
+
+// PopMin removes and returns the minimum-keyed vertex using the standard
+// two-pass pairing of the root's children.
+func (h *pairingHeap) PopMin() (graph.V, float64) {
+	v := h.root
+	k := h.key[v]
+	h.inHeap[v] = false
+	h.size--
+	// First pass: meld children pairwise left to right.
+	var pairs []graph.V
+	c := h.child[v]
+	for c != -1 {
+		next := h.sib[c]
+		h.sib[c] = -1
+		h.prev[c] = -1
+		var next2 graph.V = -1
+		if next != -1 {
+			next2 = h.sib[next]
+			h.sib[next] = -1
+			h.prev[next] = -1
+		}
+		pairs = append(pairs, h.meld(c, next))
+		c = next2
+	}
+	// Second pass: meld right to left.
+	var root graph.V = -1
+	for i := len(pairs) - 1; i >= 0; i-- {
+		root = h.meld(root, pairs[i])
+	}
+	h.child[v] = -1
+	h.root = root
+	return v, k
+}
+
+// DijkstraPairing is Dijkstra with the pairing heap; distances are
+// identical to Dijkstra, only the priority-queue behavior differs.
+func DijkstraPairing(g *graph.CSR, src graph.V) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := newPairingHeap(n)
+	h.DecreaseKey(src, 0)
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.PopMin()
+		done[u] = true
+		adj, ws := g.Neighbors(u)
+		for i, v := range adj {
+			if done[v] {
+				continue
+			}
+			if nd := du + ws[i]; nd < dist[v] {
+				dist[v] = nd
+				h.DecreaseKey(v, nd)
+			}
+		}
+	}
+	return dist
+}

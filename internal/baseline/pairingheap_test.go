@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"radiusstep/internal/check"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+)
+
+func TestPairingHeapSortsRandomKeys(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	n := 2000
+	h := newPairingHeap(n)
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.Float64() * 1000
+		h.DecreaseKey(graph.V(i), keys[i])
+	}
+	sort.Float64s(keys)
+	for i := 0; i < n; i++ {
+		_, k := h.PopMin()
+		if k != keys[i] {
+			t.Fatalf("pop %d: key %v, want %v", i, k, keys[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not drained")
+	}
+}
+
+func TestPairingHeapDecreaseKey(t *testing.T) {
+	h := newPairingHeap(10)
+	h.DecreaseKey(0, 50)
+	h.DecreaseKey(1, 40)
+	h.DecreaseKey(2, 30)
+	h.DecreaseKey(0, 10) // 0 jumps to the front
+	if v, k := h.PopMin(); v != 0 || k != 10 {
+		t.Fatalf("pop = %d,%v", v, k)
+	}
+	h.DecreaseKey(1, 5) // decrease after pops
+	if v, k := h.PopMin(); v != 1 || k != 5 {
+		t.Fatalf("pop = %d,%v", v, k)
+	}
+	// Reinsertion after removal.
+	h.DecreaseKey(0, 1)
+	if v, _ := h.PopMin(); v != 0 {
+		t.Fatalf("reinserted vertex not first: %d", v)
+	}
+}
+
+func TestPairingHeapPanicsOnRaise(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h := newPairingHeap(4)
+	h.DecreaseKey(0, 1)
+	h.DecreaseKey(0, 2)
+}
+
+// TestQuickPairingMatchesBinary: both heaps drive Dijkstra to the same
+// answer on random graphs.
+func TestQuickPairingMatchesBinary(t *testing.T) {
+	f := func(seed uint64, srcRaw uint8) bool {
+		g := gen.WithUniformIntWeights(gen.RandomConnected(80, 200, seed), 1, 60, seed^9)
+		src := graph.V(int(srcRaw) % 80)
+		a := Dijkstra(g, src)
+		b := DijkstraPairing(g, src)
+		return check.SameDistances(a, b, 0) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPairingHeapVsModel drives the heap with random operation
+// sequences against a sorted-slice model.
+func TestQuickPairingHeapVsModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		n := 64
+		h := newPairingHeap(n)
+		model := map[graph.V]float64{}
+		for _, op := range ops {
+			v := graph.V(op % uint16(n))
+			k := float64(op / uint16(n))
+			if cur, ok := model[v]; !ok || k < cur {
+				model[v] = k
+				h.DecreaseKey(v, k)
+			}
+			if len(model) > 0 && op%7 == 0 {
+				pv, pk := h.PopMin()
+				if mk, ok := model[pv]; !ok || mk != pk {
+					return false // popped key must match its model key
+				}
+				for _, mk := range model {
+					if mk < pk {
+						return false // something smaller was left behind
+					}
+				}
+				delete(model, pv)
+			}
+		}
+		return h.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDijkstraBinaryHeap(b *testing.B) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(150, 150), 1, 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, 0)
+	}
+}
+
+func BenchmarkDijkstraPairingHeap(b *testing.B) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(150, 150), 1, 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DijkstraPairing(g, 0)
+	}
+}

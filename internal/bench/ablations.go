@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/check"
+	"radiusstep/internal/core"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+	"radiusstep/internal/preprocess"
+)
+
+// AblationK studies the substep structure as k varies (the design choice
+// §5.4 discusses): larger k means fewer shortcut edges but more substeps
+// per step, bounded by k+2 (Theorem 3.2). One table per heuristic on the
+// road workload.
+func AblationK(w io.Writer, sc Scale) error {
+	wl := ShortcutWorkloads(sc)[0]
+	g := wl.Weighted
+	rho := sc.RhosCut[0]
+	for _, h := range []preprocess.Heuristic{preprocess.Greedy, preprocess.DP} {
+		t := &Table{
+			Caption: fmt.Sprintf("Ablation — substeps vs k on %s weighted (rho=%d, heuristic=%s)", wl.Name, rho, h),
+			Header:  []string{"k", "added", "mean substeps/step", "max substeps", "k+2 bound"},
+		}
+		for _, k := range sc.Ks {
+			pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: k, Heuristic: h})
+			if err != nil {
+				return err
+			}
+			var meanSub float64
+			maxSub := 0
+			for _, src := range wl.Sources {
+				_, st, err := core.SolveRef(pre.G, pre.Radii, src)
+				if err != nil {
+					return err
+				}
+				meanSub += float64(st.Substeps) / float64(st.Steps)
+				if st.MaxSubsteps > maxSub {
+					maxSub = st.MaxSubsteps
+				}
+			}
+			meanSub /= float64(len(wl.Sources))
+			t.Add(fi(int64(k)), fi(pre.Added), f2(meanSub), fi(int64(maxSub)), fi(int64(k+2)))
+		}
+		t.Render(w)
+	}
+	return nil
+}
+
+// AblationDelta compares radius-stepping against ∆-stepping across a ∆
+// sweep on one weighted workload: rounds (steps), total inner iterations
+// (substeps), and relaxations. Radius-stepping's per-vertex radii replace
+// the global ∆ the baseline must tune.
+func AblationDelta(w io.Writer, sc Scale) error {
+	wl := Workloads(sc)[0]
+	g := wl.Weighted
+	src := wl.Sources[0]
+	L := g.MaxWeight()
+	t := &Table{
+		Caption: fmt.Sprintf("Ablation — delta-stepping vs radius-stepping on %s weighted (n=%d, L=%g)",
+			wl.Name, g.NumVertices(), L),
+		Header: []string{"algorithm", "param", "steps", "substeps", "relaxations"},
+	}
+	want := baseline.Dijkstra(g, src)
+	for _, delta := range []float64{L / 100, L / 10, L, 10 * L} {
+		dist, st := baseline.DeltaStepping(g, src, delta)
+		if i := check.SameDistances(want, dist, 0); i >= 0 {
+			return fmt.Errorf("delta-stepping wrong at %d", i)
+		}
+		t.Add("delta-stepping", fmt.Sprintf("d=%.0f", delta),
+			fi(int64(st.Steps)), fi(int64(st.Substeps)), fi(st.Relaxations))
+	}
+	for _, rho := range sc.RhosCut {
+		pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+		if err != nil {
+			return err
+		}
+		dist, st, err := core.SolveRef(pre.G, pre.Radii, src)
+		if err != nil {
+			return err
+		}
+		if i := check.SameDistances(want, dist, 0); i >= 0 {
+			return fmt.Errorf("radius-stepping wrong at %d", i)
+		}
+		t.Add("radius-stepping", fmt.Sprintf("rho=%d", rho),
+			fi(int64(st.Steps)), fi(int64(st.Substeps)), fi(st.Relaxations))
+	}
+	t.Render(w)
+	return nil
+}
+
+// AblationEngines cross-checks the three radius-stepping engines on one
+// workload: identical distances and identical step/substep counts, with
+// their work counters side by side. This is the design-validation run for
+// the engine equivalence the tests assert.
+func AblationEngines(w io.Writer, sc Scale) error {
+	wl := Workloads(sc)[2] // a web graph: skewed degrees stress the engines
+	g := wl.Weighted
+	src := wl.Sources[0]
+	rho := sc.RhosCut[len(sc.RhosCut)-1]
+	pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Caption: fmt.Sprintf("Ablation — engine cross-check on %s weighted (rho=%d)", wl.Name, rho),
+		Header:  []string{"engine", "steps", "substeps", "edges scanned", "relaxations"},
+	}
+	type eng struct {
+		name string
+		fn   func() ([]float64, core.Stats, error)
+	}
+	engines := []eng{
+		{"ref (sequential)", func() ([]float64, core.Stats, error) { return core.SolveRef(pre.G, pre.Radii, src) }},
+		{"pset (Algorithm 2)", func() ([]float64, core.Stats, error) { return core.Solve(pre.G, pre.Radii, src) }},
+		{"flat (sec. 3.4)", func() ([]float64, core.Stats, error) { return core.SolveFlat(pre.G, pre.Radii, src) }},
+	}
+	var ref []float64
+	var refSteps int
+	for i, e := range engines {
+		dist, st, err := e.fn()
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			ref = dist
+			refSteps = st.Steps
+		} else {
+			if idx := check.SameDistances(ref, dist, 0); idx >= 0 {
+				return fmt.Errorf("engine %s distance mismatch at %d", e.name, idx)
+			}
+			if st.Steps != refSteps {
+				return fmt.Errorf("engine %s step mismatch: %d vs %d", e.name, st.Steps, refSteps)
+			}
+		}
+		t.Add(e.name, fi(int64(st.Steps)), fi(int64(st.Substeps)), fi(st.EdgesScanned), fi(st.Relaxations))
+	}
+	t.Render(w)
+	return nil
+}
+
+// AblationModels extends the step-vs-ρ experiment to graph families the
+// paper does not test — R-MAT (skewed, web-like) and Watts–Strogatz
+// small-world (lattice with long-range links) — checking that the
+// inverse-ρ round reduction generalizes beyond the six paper workloads.
+func AblationModels(w io.Writer, sc Scale) error {
+	type model struct {
+		name string
+		g    *graph.CSR
+	}
+	scaleDown := sc.Name == "tiny"
+	rmatScale, rmatM, swN := 14, 120000, 20000
+	if scaleDown {
+		rmatScale, rmatM, swN = 10, 8000, 2000
+	}
+	models := []model{
+		{"rmat", largest(gen.RMATDefault(rmatScale, rmatM, 51))},
+		{"smallworld", gen.SmallWorld(swN, 6, 0.05, 52)},
+	}
+	for _, m := range models {
+		g := gen.WithUniformIntWeights(m.g, 1, 10000, 53)
+		sources := SampleSources(g.NumVertices(), sc.Sources, 54)
+		t := &Table{
+			Caption: fmt.Sprintf("Ablation — rounds vs rho on %s weighted (n=%d, m=%d)",
+				m.name, g.NumVertices(), g.NumEdges()),
+			Header: []string{"rho", "mean rounds", "reduction"},
+		}
+		var base float64
+		for _, rho := range sc.Rhos {
+			pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+			if err != nil {
+				return err
+			}
+			stats := make([]core.Stats, len(sources))
+			errs := make([]error, len(sources))
+			parallel.Workers(len(sources), func(_ int, claim func() (int, bool)) {
+				for {
+					i, ok := claim()
+					if !ok {
+						return
+					}
+					_, st, err := core.SolveRef(pre.G, pre.Radii, sources[i])
+					stats[i], errs[i] = st, err
+				}
+			})
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			var mean float64
+			for _, st := range stats {
+				mean += float64(st.Steps)
+			}
+			mean /= float64(len(stats))
+			if rho == 1 {
+				base = mean
+			}
+			red := "1.00"
+			if base > 0 && mean > 0 {
+				red = f2(base / mean)
+			}
+			t.Add(fi(int64(rho)), f1(mean), red)
+		}
+		t.Render(w)
+	}
+	return nil
+}
+
+func largest(g *graph.CSR) *graph.CSR {
+	lc, _ := graph.LargestComponent(g)
+	return lc
+}
+
+// AblationParallelism profiles the work each step exposes: with P
+// processors a step settling s vertices gives roughly min(s, P)-way
+// speedup, so the distribution of per-step settled counts (not just the
+// mean n/steps) determines the practical parallelism P = W/D. The table
+// shows how ρ moves that distribution upward on one road and one web
+// workload.
+func AblationParallelism(w io.Writer, sc Scale) error {
+	for _, wi := range []int{0, 3} { // road-a, web-b
+		wl := Workloads(sc)[wi]
+		g := wl.Weighted
+		src := wl.Sources[0]
+		t := &Table{
+			Caption: fmt.Sprintf("Ablation — per-step parallelism on %s weighted (n=%d)",
+				wl.Name, g.NumVertices()),
+			Header: []string{"rho", "steps", "settled/step mean", "median", "p90", "max", "substeps/step"},
+		}
+		for _, rho := range sc.Rhos {
+			if rho == 1 {
+				continue
+			}
+			pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+			if err != nil {
+				return err
+			}
+			prof, _, err := core.Profile(pre.G, pre.Radii, src)
+			if err != nil {
+				return err
+			}
+			s := prof.Summarize()
+			t.Add(fi(int64(rho)), fi(int64(s.Steps)), f1(s.MeanSettled),
+				fi(int64(s.MedianSettled)), fi(int64(s.P90)), fi(int64(s.MaxSettled)), f2(s.MeanSubsteps))
+		}
+		t.Render(w)
+	}
+	return nil
+}

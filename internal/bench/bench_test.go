@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "default", "full", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestWorkloadsShape(t *testing.T) {
+	wls := Workloads(Tiny)
+	if len(wls) != 6 {
+		t.Fatalf("workloads = %d, want 6", len(wls))
+	}
+	names := map[string]bool{}
+	for _, wl := range wls {
+		names[wl.Name] = true
+		if wl.Unweighted.NumVertices() != wl.Weighted.NumVertices() {
+			t.Fatalf("%s: variant sizes differ", wl.Name)
+		}
+		if !wl.Unweighted.IsUnit() {
+			t.Fatalf("%s: unweighted variant has weights", wl.Name)
+		}
+		if wl.Weighted.MaxWeight() > 10000 || wl.Weighted.MinWeight() < 1 {
+			t.Fatalf("%s: weights out of paper range", wl.Name)
+		}
+		if len(wl.Sources) != Tiny.Sources {
+			t.Fatalf("%s: %d sources", wl.Name, len(wl.Sources))
+		}
+	}
+	for _, want := range []string{"road-a", "road-b", "web-a", "web-b", "grid2d", "grid3d"} {
+		if !names[want] {
+			t.Fatalf("missing workload %s", want)
+		}
+	}
+	// Cached: same pointer on second call.
+	if Workloads(Tiny)[0] != wls[0] {
+		t.Fatal("workloads not cached")
+	}
+}
+
+func TestSampleSourcesDistinctDeterministic(t *testing.T) {
+	a := SampleSources(100, 10, 5)
+	b := SampleSources(100, 10, 5)
+	if len(a) != 10 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[int32]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatal("duplicate source")
+		}
+		seen[a[i]] = true
+	}
+	if got := SampleSources(3, 10, 1); len(got) != 3 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestStepsForCachesAndDecreases(t *testing.T) {
+	wl := Workloads(Tiny)[4] // grid2d
+	r1, err := StepsFor(Tiny, wl, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := StepsFor(Tiny, wl, true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.MeanSteps >= r1.MeanSteps {
+		t.Fatalf("steps did not decrease: rho=1 %.1f, rho=16 %.1f", r1.MeanSteps, r16.MeanSteps)
+	}
+	// Cached result identical.
+	again, err := StepsFor(Tiny, wl, true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != r16 {
+		t.Fatal("cache returned different result")
+	}
+}
+
+func TestRunExperimentAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny experiment suite still takes a few seconds")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "all", Tiny); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Figure 2", "Figure 3",
+		"Table 2", "Table 3", "Figure 4", "Table 4", "Table 5",
+		"Figure 5", "Table 6", "Table 7", "Ablation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "nope", Tiny); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig1", "fig2", "fig3", "fig4", "fig5",
+		"ablation-k", "ablation-delta", "ablation-engines",
+	} {
+		if !ids[want] {
+			t.Fatalf("registry missing %s", want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Caption: "cap", Header: []string{"a", "bb"}}
+	tab.Add("1", "2")
+	tab.Add("333", "4")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "cap") || !strings.Contains(out, "333") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // caption, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSeries(&buf, "figX", "x", "y", []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}})
+	out := buf.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "series: s") {
+		t.Fatalf("series render wrong:\n%s", out)
+	}
+}
+
+func TestFig2ShowsQuadraticScanning(t *testing.T) {
+	// The scan/rho^2 ratio must stay within a constant band while rho^2
+	// varies by orders of magnitude — that is the Figure-2 claim.
+	var buf bytes.Buffer
+	if err := Fig2(&buf, Tiny); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scan/rho^2") {
+		t.Fatalf("missing ratio column:\n%s", out)
+	}
+}

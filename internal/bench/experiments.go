@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/core"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/parallel"
+	"radiusstep/internal/preprocess"
+)
+
+// stepResult is the cached outcome of running radius-stepping from every
+// sampled source of one workload at one ρ.
+type stepResult struct {
+	MeanSteps    float64
+	MeanSubsteps float64
+	MaxSubsteps  int
+	AddedEdges   int64
+}
+
+var (
+	cacheMu   sync.Mutex
+	stepCache = map[string]stepResult{}
+	cutCache  = map[string]cutResult{}
+)
+
+type cutResult struct {
+	Greedy []int64
+	DP     []int64
+}
+
+// StepsFor preprocesses wl's graph at ρ with (1, ρ) shortcuts and runs
+// radius-stepping from every sampled source, returning mean step counts.
+// Results are memoized per process so tables and figures sharing a cell
+// compute it once.
+func StepsFor(sc Scale, wl *Workload, weighted bool, rho int) (stepResult, error) {
+	key := fmt.Sprintf("%s/%s/%v/%d", sc.Name, wl.Name, weighted, rho)
+	cacheMu.Lock()
+	if r, ok := stepCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+
+	g := wl.Unweighted
+	if weighted {
+		g = wl.Weighted
+	}
+	pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+	if err != nil {
+		return stepResult{}, err
+	}
+	stats := make([]core.Stats, len(wl.Sources))
+	errs := make([]error, len(wl.Sources))
+	parallel.Workers(len(wl.Sources), func(_ int, claim func() (int, bool)) {
+		for {
+			i, ok := claim()
+			if !ok {
+				return
+			}
+			_, st, err := core.SolveRef(pre.G, pre.Radii, wl.Sources[i])
+			stats[i], errs[i] = st, err
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return stepResult{}, err
+		}
+	}
+	var res stepResult
+	for _, st := range stats {
+		res.MeanSteps += float64(st.Steps)
+		res.MeanSubsteps += float64(st.Substeps)
+		if st.MaxSubsteps > res.MaxSubsteps {
+			res.MaxSubsteps = st.MaxSubsteps
+		}
+	}
+	res.MeanSteps /= float64(len(stats))
+	res.MeanSubsteps /= float64(len(stats))
+	res.AddedEdges = pre.Added
+	cacheMu.Lock()
+	stepCache[key] = res
+	cacheMu.Unlock()
+	return res, nil
+}
+
+// CutsFor memoizes CountSweep (greedy and DP shortcut counts for every k
+// in sc.Ks) on wl's weighted graph at ρ.
+//
+// The paper runs its shortcut experiments unweighted, noting heuristic
+// performance is weight-independent on its datasets. On the synthetic
+// Barabási–Albert web substitute the unweighted balls are degenerate
+// (diameter ≈ 4, so k ≥ 3 needs no shortcuts at all); the weighted
+// variant restores the deep, irregular shortest-path trees the paper's
+// heuristic comparison is actually about, so we measure there. See
+// EXPERIMENTS.md for the deviation note.
+func CutsFor(sc Scale, wl *Workload, rho int) (cutResult, error) {
+	key := fmt.Sprintf("%s/%s/%d", sc.Name, wl.Name, rho)
+	cacheMu.Lock()
+	if r, ok := cutCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	greedy, dp, err := preprocess.CountSweep(wl.Weighted, rho, sc.Ks)
+	if err != nil {
+		return cutResult{}, err
+	}
+	r := cutResult{Greedy: greedy, DP: dp}
+	cacheMu.Lock()
+	cutCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// --- Figure 1 ----------------------------------------------------------
+
+// Fig1 demonstrates the anatomy of radius-stepping steps (the paper's
+// Figure 1): one small weighted graph, one row per step showing the round
+// distance d_i, the lead vertex, and how many vertices settle.
+func Fig1(w io.Writer, _ Scale) error {
+	g := gen.WithUniformIntWeights(gen.Grid2D(12, 12), 1, 100, 5)
+	radii, err := preprocess.RadiiOnly(g, 8)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Caption: "Figure 1 — step anatomy of Radius-Stepping (12x12 weighted grid, rho=8, source 0)",
+		Header:  []string{"step", "d_i", "lead", "settled", "substeps"},
+	}
+	_, st, err := core.SolveRefTrace(g, radii, 0, func(tr core.StepTrace) {
+		t.Add(fmt.Sprintf("%d", tr.Step), f1(tr.Di), fmt.Sprintf("%d", tr.Lead),
+			fmt.Sprintf("%d", tr.Settled), fmt.Sprintf("%d", tr.Substeps))
+	})
+	if err != nil {
+		return err
+	}
+	t.Caption += fmt.Sprintf("  [total: %s]", st)
+	t.Render(w)
+	return nil
+}
+
+// --- Figure 2 ----------------------------------------------------------
+
+// Fig2 reproduces the paper's Figure-2 claim: on a sparse pathological
+// graph, reaching ρ = 3d vertices from a vertex forces Θ(d²) edge looks.
+// We report mean edges scanned per source against ρ² — the ratio must
+// stay roughly constant while ρ² grows by orders of magnitude.
+func Fig2(w io.Writer, sc Scale) error {
+	t := &Table{
+		Caption: "Figure 2 — edges scanned by the restricted search to reach rho=3d vertices on the comb graph",
+		Header:  []string{"d", "n", "m", "rho", "scan/src", "rho^2", "scan/rho^2"},
+	}
+	for _, d := range sc.CombDs {
+		g := gen.Comb(d)
+		rho := 3 * d
+		res, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+		if err != nil {
+			return err
+		}
+		n := g.NumVertices()
+		perSrc := float64(res.EdgesScanned) / float64(n)
+		t.Add(fi(int64(d)), fi(int64(n)), fi(int64(g.NumEdges())), fi(int64(rho)),
+			f1(perSrc), fi(int64(rho*rho)), f2(perSrc/float64(rho*rho)))
+	}
+	t.Render(w)
+	return nil
+}
+
+// --- Figure 3 / Tables 2 and 3 -----------------------------------------
+
+// Fig3 renders the added-edge factor (added shortcuts over original m) of
+// greedy vs DP at k=3 as ρ varies, for a road map, a web graph and a 2D
+// grid — the paper's Figure 3(a–c).
+func Fig3(w io.Writer, sc Scale) error {
+	kIdx := indexOf(sc.Ks, 3)
+	if kIdx < 0 {
+		kIdx = 0
+	}
+	for _, wl := range ShortcutWorkloads(sc) {
+		m := float64(wl.Weighted.NumEdges())
+		var series [2]Series
+		series[0].Name = "greedy"
+		series[1].Name = "dp"
+		t := &Table{
+			Caption: fmt.Sprintf("Figure 3 (%s, weighted) — factors of additional edges, k=%d", wl.Name, sc.Ks[kIdx]),
+			Header:  []string{"rho", "greedy", "dp"},
+		}
+		for _, rho := range sc.RhosCut {
+			c, err := CutsFor(sc, wl, rho)
+			if err != nil {
+				return err
+			}
+			gf := float64(c.Greedy[kIdx]) / m
+			df := float64(c.DP[kIdx]) / m
+			series[0].X = append(series[0].X, float64(rho))
+			series[0].Y = append(series[0].Y, gf)
+			series[1].X = append(series[1].X, float64(rho))
+			series[1].Y = append(series[1].Y, df)
+			t.Add(fi(int64(rho)), f2(gf), f2(df))
+		}
+		t.Render(w)
+		RenderSeries(w, fmt.Sprintf("# fig3-%s data", wl.Name), "rho", "factor", series[:])
+	}
+	return nil
+}
+
+// shortcutTable renders Table 2 (greedy) or Table 3 (DP): added-edge
+// factors for every (k, ρ) plus the paper's "red. rounds" column (the
+// unweighted round-reduction factor versus ρ=1, which is independent of
+// k and of the heuristic).
+func shortcutTable(w io.Writer, sc Scale, useDP bool) error {
+	name, which := "Table 2 — greedy heuristic", "greedy"
+	if useDP {
+		name, which = "Table 3 — DP heuristic", "dp"
+	}
+	for _, wl := range ShortcutWorkloads(sc) {
+		header := []string{"rho"}
+		for _, k := range sc.Ks {
+			header = append(header, fmt.Sprintf("k=%d", k))
+		}
+		header = append(header, "red.rounds")
+		t := &Table{
+			Caption: fmt.Sprintf("%s (%s, weighted): factors of additional edges (|V|=%d, |E|=%d)",
+				name, wl.Name, wl.Weighted.NumVertices(), wl.Weighted.NumEdges()),
+			Header: header,
+		}
+		m := float64(wl.Weighted.NumEdges())
+		base, err := StepsFor(sc, wl, true, 1)
+		if err != nil {
+			return err
+		}
+		for _, rho := range sc.RhosCut {
+			c, err := CutsFor(sc, wl, rho)
+			if err != nil {
+				return err
+			}
+			cur, err := StepsFor(sc, wl, true, rho)
+			if err != nil {
+				return err
+			}
+			cells := []string{fi(int64(rho))}
+			counts := c.Greedy
+			if which == "dp" {
+				counts = c.DP
+			}
+			for i := range sc.Ks {
+				cells = append(cells, f2(float64(counts[i])/m))
+			}
+			cells = append(cells, f2(base.MeanSteps/cur.MeanSteps))
+			t.Add(cells...)
+		}
+		t.Render(w)
+	}
+	return nil
+}
+
+// Table2 renders the greedy added-edge factor matrix.
+func Table2(w io.Writer, sc Scale) error { return shortcutTable(w, sc, false) }
+
+// Table3 renders the DP added-edge factor matrix.
+func Table3(w io.Writer, sc Scale) error { return shortcutTable(w, sc, true) }
+
+// --- Figures 4 and 5 / Tables 4, 5, 6, 7 --------------------------------
+
+// stepsTable renders Table 4 (unweighted) or Table 6 (weighted): average
+// radius-stepping rounds per graph as ρ varies.
+func stepsTable(w io.Writer, sc Scale, weighted bool) error {
+	name := "Table 4 — average rounds, unweighted (BFS at rho=1)"
+	if weighted {
+		name = "Table 6 — average rounds, weighted (Dijkstra-with-ties at rho=1)"
+	}
+	wls := Workloads(sc)
+	header := []string{"rho"}
+	for _, wl := range wls {
+		header = append(header, wl.Name)
+	}
+	t := &Table{Caption: name, Header: header}
+	for _, rho := range sc.Rhos {
+		cells := []string{fi(int64(rho))}
+		for _, wl := range wls {
+			r, err := StepsFor(sc, wl, weighted, rho)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, f1(r.MeanSteps))
+		}
+		t.Add(cells...)
+	}
+	t.Render(w)
+	return nil
+}
+
+// reductionTable renders Table 5 (unweighted) or Table 7 (weighted):
+// round-count reduction factors versus the ρ=1 baseline.
+func reductionTable(w io.Writer, sc Scale, weighted bool) error {
+	name := "Table 5 — reduction factor of rounds vs BFS (unweighted)"
+	if weighted {
+		name = "Table 7 — reduction factor of rounds vs rho=1 (weighted)"
+	}
+	wls := Workloads(sc)
+	header := []string{"rho"}
+	for _, wl := range wls {
+		header = append(header, wl.Name)
+	}
+	t := &Table{Caption: name, Header: header}
+	for _, rho := range sc.Rhos {
+		if rho == 1 {
+			continue
+		}
+		cells := []string{fi(int64(rho))}
+		for _, wl := range wls {
+			base, err := StepsFor(sc, wl, weighted, 1)
+			if err != nil {
+				return err
+			}
+			cur, err := StepsFor(sc, wl, weighted, rho)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, f2(base.MeanSteps/cur.MeanSteps))
+		}
+		t.Add(cells...)
+	}
+	t.Render(w)
+	return nil
+}
+
+// figSteps renders Figure 4 (unweighted) or Figure 5 (weighted): the
+// steps-vs-ρ series per graph group.
+func figSteps(w io.Writer, sc Scale, weighted bool) error {
+	name := "Figure 4 — unweighted steps vs rho"
+	if weighted {
+		name = "Figure 5 — weighted steps vs rho"
+	}
+	groups := map[string][]*Workload{}
+	var order []string
+	for _, wl := range Workloads(sc) {
+		if _, ok := groups[wl.Kind]; !ok {
+			order = append(order, wl.Kind)
+		}
+		groups[wl.Kind] = append(groups[wl.Kind], wl)
+	}
+	sort.Strings(order)
+	for _, kind := range order {
+		var series []Series
+		for _, wl := range groups[kind] {
+			s := Series{Name: wl.Name}
+			for _, rho := range sc.Rhos {
+				r, err := StepsFor(sc, wl, weighted, rho)
+				if err != nil {
+					return err
+				}
+				s.X = append(s.X, float64(rho))
+				s.Y = append(s.Y, r.MeanSteps)
+			}
+			series = append(series, s)
+		}
+		RenderSeries(w, fmt.Sprintf("%s (%s)", name, kind), "rho", "avg steps", series)
+	}
+	return nil
+}
+
+// Table4 renders unweighted average rounds.
+func Table4(w io.Writer, sc Scale) error { return stepsTable(w, sc, false) }
+
+// Table5 renders unweighted reduction factors.
+func Table5(w io.Writer, sc Scale) error { return reductionTable(w, sc, false) }
+
+// Table6 renders weighted average rounds.
+func Table6(w io.Writer, sc Scale) error { return stepsTable(w, sc, true) }
+
+// Table7 renders weighted reduction factors.
+func Table7(w io.Writer, sc Scale) error { return reductionTable(w, sc, true) }
+
+// Fig4 renders unweighted steps-vs-ρ series.
+func Fig4(w io.Writer, sc Scale) error { return figSteps(w, sc, false) }
+
+// Fig5 renders weighted steps-vs-ρ series.
+func Fig5(w io.Writer, sc Scale) error { return figSteps(w, sc, true) }
+
+// --- Table 1 ------------------------------------------------------------
+
+// Table1 reprints the paper's summary of work/depth bounds (an analytic
+// table) and appends measured proxies from this implementation: total
+// edges scanned (work) and rounds (depth) per algorithm on one weighted
+// workload, so the asymptotic claims can be sanity-checked empirically.
+func Table1(w io.Writer, sc Scale) error {
+	bounds := &Table{
+		Caption: "Table 1 — work/depth bounds for exact SSSP (paper, analytic)",
+		Header:  []string{"setting", "algorithm", "work", "depth"},
+	}
+	for _, r := range [][4]string{
+		{"unweighted", "standard BFS", "O(m+n)", "O(n)"},
+		{"unweighted", "Ullman-Yannakakis", "~O(m sqrt(n)+nm/t+n^3/t^4)", "~O(t)"},
+		{"unweighted", "Spencer", "O(m log p + n p^2 log^2 p)", "O((n/p) log^2 p)"},
+		{"unweighted", "this work", "O(m + n p)", "O((n/p) log p log* p)"},
+		{"weighted", "parallel Dijkstra (PK85)", "O(m + n log n)", "O(n log n)"},
+		{"weighted", "parallel Dijkstra (BTZ98)", "O(m log n + n)", "O(n)"},
+		{"weighted", "Klein-Subramanian", "O(m sqrt(n) log K log n)", "O(sqrt(n) log K log n)"},
+		{"weighted", "Spencer", "O((n p^2 log p + m) log(npL))", "O((n/p) log n log(pL))"},
+		{"weighted", "Shi-Spencer", "O((n^3/p^2) log n log(n/p) + m log n)", "O(p log n)"},
+		{"weighted", "Cohen", "O(n^2 + n^3/p^2)", "O(p polylog n)"},
+		{"weighted", "this work", "O((m + n p) log n)", "O((n/p) log n log(pL))"},
+	} {
+		bounds.Add(r[0], r[1], r[2], r[3])
+	}
+	bounds.Render(w)
+
+	// Measured proxies on one weighted road workload.
+	wl := Workloads(sc)[0]
+	g := wl.Weighted
+	src := wl.Sources[0]
+	t := &Table{
+		Caption: fmt.Sprintf("Table 1 (measured) — work/depth proxies on %s weighted (n=%d, m=%d)",
+			wl.Name, g.NumVertices(), g.NumEdges()),
+		Header: []string{"algorithm", "edges scanned (work)", "rounds (depth)"},
+	}
+	{
+		_, steps := baseline.DijkstraSteps(g, src)
+		t.Add("Dijkstra (rho=1)", fi(int64(g.NumArcs())), fi(int64(steps)))
+	}
+	{
+		_, rounds := baseline.BellmanFordParallel(g, src)
+		t.Add("Bellman-Ford", "O(m x rounds)", fi(int64(rounds)))
+	}
+	{
+		_, st := baseline.DeltaStepping(g, src, 2000)
+		t.Add("Delta-stepping (d=2000)", fi(st.Relaxations), fi(int64(st.Substeps)))
+	}
+	for _, rho := range []int{16, 64} {
+		pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+		if err != nil {
+			return err
+		}
+		_, st, err := core.SolveRef(pre.G, pre.Radii, src)
+		if err != nil {
+			return err
+		}
+		t.Add(fmt.Sprintf("Radius-stepping rho=%d", rho), fi(st.EdgesScanned), fi(int64(st.Substeps)))
+	}
+	t.Render(w)
+	return nil
+}
+
+// --- registry -----------------------------------------------------------
+
+// Experiment is a runnable named experiment.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(io.Writer, Scale) error
+}
+
+// Experiments lists every table and figure reproduction plus ablations,
+// in the order they appear in the paper.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "work/depth bounds (analytic + measured proxies)", Table1},
+		{"fig1", "step anatomy illustration", Fig1},
+		{"fig2", "O(rho^2) comb-graph preprocessing cost", Fig2},
+		{"fig3", "added-edge factor, greedy vs DP, k=3", Fig3},
+		{"table2", "greedy added-edge factors, k x rho", Table2},
+		{"table3", "DP added-edge factors, k x rho", Table3},
+		{"fig4", "unweighted steps vs rho (series)", Fig4},
+		{"table4", "unweighted average rounds", Table4},
+		{"table5", "unweighted round-reduction factors", Table5},
+		{"fig5", "weighted steps vs rho (series)", Fig5},
+		{"table6", "weighted average rounds", Table6},
+		{"table7", "weighted round-reduction factors", Table7},
+		{"ablation-k", "substeps vs k (Theorem 3.2 in practice)", AblationK},
+		{"ablation-delta", "radius-stepping vs delta-stepping rounds", AblationDelta},
+		{"ablation-engines", "engine cross-check (ref vs pset vs flat)", AblationEngines},
+		{"ablation-models", "rounds vs rho on RMAT and small-world graphs", AblationModels},
+		{"ablation-parallelism", "per-step settled-count distribution vs rho", AblationParallelism},
+	}
+}
+
+// RunExperiment dispatches by id ("all" runs everything).
+func RunExperiment(w io.Writer, id string, sc Scale) error {
+	if id == "all" {
+		for _, e := range Experiments() {
+			fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Desc)
+			if err := e.Run(w, sc); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(w, sc)
+		}
+	}
+	return fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

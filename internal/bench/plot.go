@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders series as a log-log scatter plot in plain text, so
+// the paper's figures are visible directly in a terminal: each series
+// gets a distinct marker, axes are annotated with the data range.
+// Points with non-positive coordinates are skipped (log scale).
+func AsciiPlot(w io.Writer, title string, series []Series, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	markers := []byte("*o+x#@%&")
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s: no positive data to plot\n", title)
+		return
+	}
+	lx0, lx1 := math.Log(minX), math.Log(maxX)
+	ly0, ly1 := math.Log(minY), math.Log(maxY)
+	if lx1 == lx0 {
+		lx1 = lx0 + 1
+	}
+	if ly1 == ly0 {
+		ly1 = ly0 + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			col := int(math.Round((math.Log(s.X[i]) - lx0) / (lx1 - lx0) * float64(width-1)))
+			row := int(math.Round((math.Log(s.Y[i]) - ly0) / (ly1 - ly0) * float64(height-1)))
+			row = height - 1 - row // origin at bottom-left
+			if grid[row][col] != ' ' && grid[row][col] != m {
+				grid[row][col] = '?' // overlapping series
+			} else {
+				grid[row][col] = m
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s  (log-log)\n", title)
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%-10.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%-10.3g", minY)
+		}
+		fmt.Fprintf(w, "%s|%s|\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s+\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-10.3g%s%10.3g\n", strings.Repeat(" ", 11), minX,
+		strings.Repeat(" ", max(0, width-20)), maxX)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s%s\n\n", strings.Repeat(" ", 11), strings.Join(legend, "  "))
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiPlot(&buf, "test plot", []Series{
+		{Name: "a", X: []float64{1, 10, 100}, Y: []float64{100, 10, 1}},
+		{Name: "b", X: []float64{1, 10, 100}, Y: []float64{50, 50, 50}},
+	}, 40, 10)
+	out := buf.String()
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing markers")
+	}
+	// Axis labels show the data range.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "1") {
+		t.Fatal("missing axis labels")
+	}
+}
+
+func TestAsciiPlotCorners(t *testing.T) {
+	var buf bytes.Buffer
+	// A decreasing series: first point must land in the top-left area,
+	// last in the bottom-right.
+	AsciiPlot(&buf, "corners", []Series{
+		{Name: "s", X: []float64{1, 1000}, Y: []float64{1000, 1}},
+	}, 30, 8)
+	lines := strings.Split(buf.String(), "\n")
+	// Line 1 is the top row of the grid, line 8 the bottom row.
+	top, bottom := lines[1], lines[8]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("top row empty: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("bottom row empty: %q", bottom)
+	}
+	if strings.Index(top, "*") > strings.Index(bottom, "*") {
+		t.Fatal("orientation wrong: decreasing series should go top-left to bottom-right")
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiPlot(&buf, "empty", nil, 30, 8)
+	if !strings.Contains(buf.String(), "no positive data") {
+		t.Fatal("empty input not handled")
+	}
+	buf.Reset()
+	// Zero/negative coordinates are skipped; one valid point remains.
+	AsciiPlot(&buf, "one", []Series{{Name: "s", X: []float64{0, 5}, Y: []float64{-1, 5}}}, 30, 8)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+	buf.Reset()
+	// Tiny dimensions are clamped.
+	AsciiPlot(&buf, "tiny", []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1, 2}}}, 1, 1)
+	if len(strings.Split(buf.String(), "\n")) < 6 {
+		t.Fatal("dimension clamp failed")
+	}
+}
+
+func TestAsciiPlotOverlapMarker(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiPlot(&buf, "overlap", []Series{
+		{Name: "a", X: []float64{1, 100}, Y: []float64{1, 100}},
+		{Name: "b", X: []float64{1, 100}, Y: []float64{1, 100}},
+	}, 30, 8)
+	if !strings.Contains(buf.String(), "?") {
+		t.Fatal("overlapping points should show ?")
+	}
+}

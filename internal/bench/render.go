@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with a caption, used to
+// render every experiment in the same shape the paper reports.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Add appends a row of already-formatted cells.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(w, "%s\n", t.Caption)
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// Series is one named (x, y) sequence of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// RenderSeries prints figure data in a gnuplot-ready layout plus a
+// log-log ASCII plot so trends are visible directly in a terminal.
+func RenderSeries(w io.Writer, caption string, xlabel, ylabel string, series []Series) {
+	fmt.Fprintf(w, "%s\n", caption)
+	for _, s := range series {
+		fmt.Fprintf(w, "# series: %s  (%s vs %s)\n", s.Name, ylabel, xlabel)
+		for i := range s.X {
+			fmt.Fprintf(w, "%g\t%g\n", s.X[i], s.Y[i])
+		}
+	}
+	fmt.Fprintln(w)
+	AsciiPlot(w, caption, series, 48, 12)
+}
+
+// f1, f2 format floats with fixed decimals; fi formats integers.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func fi(v int64) string   { return fmt.Sprintf("%d", v) }

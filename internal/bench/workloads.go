@@ -1,0 +1,180 @@
+// Package bench is the experiment harness: it prepares the paper's six
+// workload graphs (offline synthetic substitutes, see DESIGN.md §4),
+// runs each experiment behind Figures 1–5 and Tables 1–7, and renders
+// the same rows and series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+)
+
+// Scale bundles every size knob of the experiment suite. The paper runs
+// ~1M-vertex graphs, 1000 sources and ρ up to 10⁴ on a large machine;
+// Default is sized so the whole suite finishes in minutes on a laptop
+// while preserving every trend (preprocessing is Θ(nρ²)).
+type Scale struct {
+	Name      string
+	RoadN     int // vertices per road-network substitute
+	WebN      int // vertices per web-graph substitute
+	Grid2Side int
+	Grid3Side int
+	Rhos      []int // ρ sweep for step experiments (Tables 4–7, Figs 4–5)
+	RhosCut   []int // ρ sweep for shortcut experiments (Tables 2–3, Fig 3)
+	Ks        []int // k sweep for Tables 2–3
+	Sources   int   // sampled sources per graph
+	CombDs    []int // d sweep for the Figure-2 experiment
+}
+
+// Tiny is for tests of the harness itself.
+var Tiny = Scale{
+	Name:      "tiny",
+	RoadN:     2500,
+	WebN:      2000,
+	Grid2Side: 45,
+	Grid3Side: 13,
+	Rhos:      []int{1, 4, 16},
+	RhosCut:   []int{4, 16},
+	Ks:        []int{2, 3},
+	Sources:   2,
+	CombDs:    []int{4, 8, 16},
+}
+
+// Default is what `go test -bench` and the CLI run out of the box.
+var Default = Scale{
+	Name:      "default",
+	RoadN:     40000,
+	WebN:      30000,
+	Grid2Side: 200,
+	Grid3Side: 34,
+	Rhos:      []int{1, 2, 5, 10, 20, 50, 100},
+	RhosCut:   []int{10, 20, 50, 100},
+	Ks:        []int{2, 3, 4, 5},
+	Sources:   4,
+	CombDs:    []int{8, 16, 32, 64, 128},
+}
+
+// Full approaches the paper's configuration; expect long runtimes.
+var Full = Scale{
+	Name:      "full",
+	RoadN:     250000,
+	WebN:      150000,
+	Grid2Side: 500,
+	Grid3Side: 63,
+	Rhos:      []int{1, 2, 5, 10, 20, 50, 100, 200, 500},
+	RhosCut:   []int{10, 20, 50, 100, 200},
+	Ks:        []int{2, 3, 4, 5},
+	Sources:   8,
+	CombDs:    []int{8, 16, 32, 64, 128, 256},
+}
+
+// ScaleByName resolves "tiny", "default" or "full".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "default", "":
+		return Default, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (want tiny|default|full)", name)
+}
+
+// Workload is one prepared graph: connected, with both unit and
+// uniformly weighted variants and a deterministic source sample.
+type Workload struct {
+	Name       string // e.g. "road-a"
+	Kind       string // "road", "web", "grid2d", "grid3d"
+	Unweighted *graph.CSR
+	Weighted   *graph.CSR
+	Sources    []graph.V
+}
+
+// workloadSpecs lists the six graphs standing in for the paper's
+// road maps (PA/TX), web graphs (NotreDame/Stanford) and grids (2D/3D).
+func workloadSpecs(sc Scale) []struct {
+	name, kind string
+	build      func() *graph.CSR
+} {
+	return []struct {
+		name, kind string
+		build      func() *graph.CSR
+	}{
+		{"road-a", "road", func() *graph.CSR {
+			g, _ := graph.LargestComponent(gen.RoadNet(sc.RoadN, 6, 101))
+			return g
+		}},
+		{"road-b", "road", func() *graph.CSR {
+			g, _ := graph.LargestComponent(gen.RoadNet(sc.RoadN*5/4, 5.5, 202))
+			return g
+		}},
+		// NotreDame has m/n ≈ 7 arcs (attach 3); Stanford m/n ≈ 14
+		// (attach 7). Hubs are the property that matters (§5.2).
+		{"web-a", "web", func() *graph.CSR { return gen.ScaleFree(sc.WebN, 3, 303) }},
+		{"web-b", "web", func() *graph.CSR { return gen.ScaleFree(sc.WebN, 7, 404) }},
+		{"grid2d", "grid2d", func() *graph.CSR { return gen.Grid2D(sc.Grid2Side, sc.Grid2Side) }},
+		{"grid3d", "grid3d", func() *graph.CSR { return gen.Grid3D(sc.Grid3Side, sc.Grid3Side, sc.Grid3Side) }},
+	}
+}
+
+var (
+	wlMu    sync.Mutex
+	wlCache = map[string][]*Workload{}
+)
+
+// Workloads prepares (and caches per process) the six graphs at the
+// given scale. Weights are uniform integers in [1, 10⁴] as in the paper;
+// sources are a fixed seeded sample shared by all experiments.
+func Workloads(sc Scale) []*Workload {
+	wlMu.Lock()
+	defer wlMu.Unlock()
+	if ws, ok := wlCache[sc.Name]; ok {
+		return ws
+	}
+	var out []*Workload
+	for i, spec := range workloadSpecs(sc) {
+		g := spec.build()
+		unit := graph.UnitWeights(g)
+		weighted := gen.WithUniformIntWeights(g, 1, 10000, uint64(1000+i))
+		out = append(out, &Workload{
+			Name:       spec.name,
+			Kind:       spec.kind,
+			Unweighted: unit,
+			Weighted:   weighted,
+			Sources:    SampleSources(g.NumVertices(), sc.Sources, uint64(7700+i)),
+		})
+	}
+	wlCache[sc.Name] = out
+	return out
+}
+
+// ShortcutWorkloads returns the three graphs Figure 3 and Tables 2–3 use:
+// one road map, one web graph, one 2D grid. The shortcut experiments run
+// on the weighted variants (see CutsFor for the deviation rationale).
+func ShortcutWorkloads(sc Scale) []*Workload {
+	all := Workloads(sc)
+	return []*Workload{all[0], all[3], all[4]} // road-a, web-b, grid2d
+}
+
+// SampleSources draws k distinct vertices deterministically.
+func SampleSources(n, k int, seed uint64) []graph.V {
+	if k > n {
+		k = n
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	seen := make(map[graph.V]bool, k)
+	out := make([]graph.V, 0, k)
+	for len(out) < k {
+		v := graph.V(r.IntN(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

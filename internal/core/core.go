@@ -1,0 +1,91 @@
+// Package core implements Radius-Stepping, the paper's parallel
+// single-source shortest-path algorithm (Algorithm 1/2).
+//
+// Three interchangeable solvers are provided, all computing identical
+// distances and identical step/substep counts:
+//
+//   - SolveRef: a sequential reference with lazy-deletion heaps,
+//     faithful to Algorithm 1. It is the fastest single-thread variant
+//     and the one experiments use for step counting.
+//   - Solve: the paper's efficient parallel implementation (Algorithm 2):
+//     the Q and R priority sets are join-based ordered sets maintained
+//     with bulk split/union/difference, and Bellman–Ford substeps relax
+//     edges concurrently with priority-writes.
+//   - SolveFlat: the §3.4 frontier engine that avoids ordered sets by
+//     scanning the (small) fringe to pick each round distance; on
+//     unweighted graphs this is the paper's parallel-BFS-style variant.
+//
+// All solvers take the per-vertex radii r(v) produced by preprocessing;
+// correctness holds for any non-negative radii (Theorem 3.1), while the
+// step and substep bounds require the (k, ρ)-graph property.
+package core
+
+import (
+	"fmt"
+
+	"radiusstep/internal/graph"
+)
+
+// Stats describes the round structure of one solve.
+type Stats struct {
+	// Steps is the number of outer iterations (the paper's "steps"
+	// or "rounds": Theorem 3.3 bounds it by O((n/ρ)·log ρL)).
+	Steps int
+	// Substeps is the total number of inner Bellman–Ford iterations
+	// across all steps (at most k+2 per step on a (k, ρ)-graph,
+	// Theorem 3.2).
+	Substeps int
+	// MaxSubsteps is the largest substep count of any single step.
+	MaxSubsteps int
+	// Relaxations counts successful distance improvements.
+	Relaxations int64
+	// EdgesScanned counts arcs examined.
+	EdgesScanned int64
+	// MaxStep is the largest number of vertices settled in one step.
+	MaxStep int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("steps=%d substeps=%d maxsub=%d relax=%d scanned=%d maxstep=%d",
+		s.Steps, s.Substeps, s.MaxSubsteps, s.Relaxations, s.EdgesScanned, s.MaxStep)
+}
+
+// validate checks common argument invariants for the solvers.
+func validate(g *graph.CSR, radii []float64, src graph.V) error {
+	n := g.NumVertices()
+	if len(radii) != n {
+		return fmt.Errorf("core: %d radii for %d vertices", len(radii), n)
+	}
+	if src < 0 || int(src) >= n {
+		return fmt.Errorf("core: source %d out of range [0,%d)", src, n)
+	}
+	for v, r := range radii {
+		if r < 0 {
+			return fmt.Errorf("core: negative radius %v at vertex %d", r, v)
+		}
+	}
+	return nil
+}
+
+// StepTrace describes one completed step for observers.
+type StepTrace struct {
+	Step     int     // 1-based step index
+	Di       float64 // the round distance d_i
+	Lead     graph.V // the lead vertex attaining d_i
+	Settled  int     // vertices settled in this step
+	Substeps int     // substeps this step took
+}
+
+// ZeroRadii returns an all-zero radius vector (Radius-Stepping degenerates
+// to Dijkstra-with-batched-ties, the ρ=1 baseline of Tables 6–7).
+func ZeroRadii(n int) []float64 { return make([]float64, n) }
+
+// UniformRadii returns a constant radius vector (Radius-Stepping becomes
+// approximately ∆-stepping with ∆ = r, §3).
+func UniformRadii(n int, r float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/check"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/preprocess"
+)
+
+// TestExhaustiveTinyGraphs enumerates EVERY graph on 4 vertices (all 64
+// edge subsets, three weight patterns) and every source, checking all
+// three engines against Dijkstra and the optimality certificate, with
+// radii from preprocessing at every feasible ρ. This is the closest
+// thing to a proof-by-exhaustion the test suite has: any systematic
+// boundary bug (empty frontier, isolated source, single edge, full
+// clique) must show up here.
+func TestExhaustiveTinyGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration takes a few seconds")
+	}
+	n := 4
+	type pair struct{ u, v graph.V }
+	var pairs []pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{graph.V(u), graph.V(v)})
+		}
+	}
+	weightPatterns := [][]float64{
+		{1, 1, 1, 1, 1, 1},
+		{1, 2, 3, 4, 5, 6},
+		{5, 1, 4, 1, 3, 9},
+	}
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		for wp, weights := range weightPatterns {
+			var edges []graph.Edge
+			for i, p := range pairs {
+				if mask&(1<<i) != 0 {
+					edges = append(edges, graph.Edge{U: p.u, V: p.v, W: weights[i]})
+				}
+			}
+			g := graph.FromEdges(n, edges)
+			for _, rho := range []int{1, 2, 4} {
+				res, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+				if err != nil {
+					t.Fatalf("mask=%d wp=%d rho=%d: %v", mask, wp, rho, err)
+				}
+				for src := graph.V(0); src < graph.V(n); src++ {
+					want := baseline.Dijkstra(res.G, src)
+					for _, s := range solvers() {
+						got, _, err := s.fn(res.G, res.Radii, src)
+						if err != nil {
+							t.Fatalf("mask=%d wp=%d rho=%d src=%d %s: %v", mask, wp, rho, src, s.name, err)
+						}
+						if i := check.SameDistances(want, got, 0); i >= 0 {
+							t.Fatalf("mask=%d wp=%d rho=%d src=%d %s: dist[%d]=%v want %v",
+								mask, wp, rho, src, s.name, i, got[i], want[i])
+						}
+						if err := check.VerifyDistances(res.G, src, got); err != nil {
+							t.Fatalf("mask=%d wp=%d rho=%d src=%d %s: %v", mask, wp, rho, src, s.name, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// SolveFlat computes shortest-path distances from src with the frontier
+// ("flat") Radius-Stepping engine of §3.4: instead of ordered sets it
+// keeps the fringe — reached-but-unsettled vertices — in a plain array,
+// picks each round distance with a parallel min-reduction over the
+// fringe, and runs the same parallel Bellman–Ford substeps. On unweighted
+// graphs this is the paper's parallel-BFS-style variant (each step costs
+// work proportional to the fringe, with no log-factor from trees); it is
+// correct for arbitrary weights and produces step/substep counts
+// identical to SolveRef and Solve.
+func SolveFlat(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
+	if err := validate(g, radii, src); err != nil {
+		return nil, Stats{}, err
+	}
+	n := g.NumVertices()
+	var st Stats
+
+	bits := make([]uint64, n)
+	parallel.Fill(bits, parallel.InfBits)
+	bits[src] = parallel.ToBits(0)
+	done := make([]bool, n)
+	act := make([]uint32, n)
+	sub := make([]uint32, n)
+	seen := make([]uint32, n) // per-step dedup while compacting the fringe
+	done[src] = true
+
+	// Relax the source's neighbors to seed the fringe. The fringe may
+	// contain duplicates and stale (settled) entries; every consumer
+	// below tolerates both.
+	var pending []graph.V
+	{
+		adj, ws := g.Neighbors(src)
+		st.EdgesScanned += int64(len(adj))
+		for i, v := range adj {
+			if parallel.WriteMin(&bits[v], parallel.ToBits(ws[i])) {
+				st.Relaxations++
+			}
+		}
+		pending = append(pending, adj...)
+	}
+
+	step := uint32(0)
+	subID := uint32(0)
+	var active, frontier []graph.V
+
+	for len(pending) > 0 {
+		// d_i = min over the fringe of δ(v)+r(v); settled duplicates
+		// are skipped by treating them as +Inf.
+		_, di := parallel.MinIndex(len(pending), math.Inf(1), func(i int) float64 {
+			v := pending[i]
+			if done[v] {
+				return math.Inf(1)
+			}
+			return parallel.FromBits(bits[v]) + radii[v]
+		})
+		if math.IsInf(di, 1) {
+			break // only stale entries remained
+		}
+		step++
+		st.Steps++
+
+		// Extract A = {δ(v) <= d_i}; the rest stays pending.
+		active = active[:0]
+		rest := pending[:0]
+		for _, v := range pending {
+			if done[v] || seen[v] == step {
+				continue
+			}
+			seen[v] = step
+			if parallel.FromBits(bits[v]) <= di {
+				act[v] = step
+				active = append(active, v)
+			} else {
+				rest = append(rest, v)
+			}
+		}
+
+		frontier = append(frontier[:0], active...)
+		substeps := 0
+		for len(frontier) > 0 {
+			substeps++
+			subID++
+			updated := relaxParallel(g, bits, sub, subID, frontier, &st)
+			var next []graph.V
+			for _, v := range updated {
+				nd := parallel.FromBits(bits[v])
+				switch {
+				case nd <= di:
+					// Joins (or re-enters) the active set; a stale copy
+					// of v possibly left in rest is skipped later via
+					// the done check.
+					if act[v] != step {
+						act[v] = step
+						active = append(active, v)
+					}
+					next = append(next, v)
+				case seen[v] != step:
+					// Newly discovered beyond d_i: joins the fringe.
+					seen[v] = step
+					rest = append(rest, v)
+				}
+			}
+			frontier = next
+		}
+
+		st.Substeps += substeps
+		if substeps > st.MaxSubsteps {
+			st.MaxSubsteps = substeps
+		}
+		if len(active) > st.MaxStep {
+			st.MaxStep = len(active)
+		}
+		for _, v := range active {
+			done[v] = true
+		}
+		pending = rest
+	}
+	return parallel.BitsToFloats(bits), st, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"radiusstep/internal/graph"
+)
+
+// StepProfile records, for one solve, the work available in every step —
+// the quantity behind the paper's parallelism argument P = W/D: each
+// step is a parallel phase, so per-step settled counts and edge scans
+// measure how much of the work the algorithm exposes per unit of depth.
+type StepProfile struct {
+	Settled  []int // vertices settled per step
+	Substeps []int // substeps per step
+}
+
+// Profile runs the reference engine collecting a per-step profile.
+func Profile(g *graph.CSR, radii []float64, src graph.V) (*StepProfile, Stats, error) {
+	p := &StepProfile{}
+	_, st, err := SolveRefTrace(g, radii, src, func(tr StepTrace) {
+		p.Settled = append(p.Settled, tr.Settled)
+		p.Substeps = append(p.Substeps, tr.Substeps)
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return p, st, nil
+}
+
+// Summary condenses a profile into the statistics experiments report.
+type Summary struct {
+	Steps         int
+	TotalSettled  int
+	MeanSettled   float64
+	MedianSettled int
+	MaxSettled    int
+	P10, P90      int     // 10th/90th percentile of per-step settled counts
+	MeanSubsteps  float64 // mean substeps per step
+}
+
+// Summarize computes order statistics of the per-step settled counts.
+func (p *StepProfile) Summarize() Summary {
+	var s Summary
+	s.Steps = len(p.Settled)
+	if s.Steps == 0 {
+		return s
+	}
+	sorted := append([]int(nil), p.Settled...)
+	sort.Ints(sorted)
+	for _, v := range sorted {
+		s.TotalSettled += v
+		if v > s.MaxSettled {
+			s.MaxSettled = v
+		}
+	}
+	s.MeanSettled = float64(s.TotalSettled) / float64(s.Steps)
+	s.MedianSettled = sorted[s.Steps/2]
+	s.P10 = sorted[s.Steps/10]
+	s.P90 = sorted[s.Steps*9/10]
+	var sub int
+	for _, v := range p.Substeps {
+		sub += v
+	}
+	s.MeanSubsteps = float64(sub) / float64(s.Steps)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("steps=%d settled(mean=%.1f med=%d p10=%d p90=%d max=%d) substeps/step=%.2f",
+		s.Steps, s.MeanSettled, s.MedianSettled, s.P10, s.P90, s.MaxSettled, s.MeanSubsteps)
+}

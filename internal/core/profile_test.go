@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"radiusstep/internal/gen"
+	"radiusstep/internal/preprocess"
+)
+
+func TestProfileConsistentWithStats(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(20, 20), 1, 100, 1)
+	radii, err := preprocess.RadiiOnly(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, st, err := Profile(g, radii, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Settled) != st.Steps || len(prof.Substeps) != st.Steps {
+		t.Fatalf("profile length %d, steps %d", len(prof.Settled), st.Steps)
+	}
+	total := 0
+	for _, v := range prof.Settled {
+		total += v
+	}
+	if total != g.NumVertices()-1 {
+		t.Fatalf("settled sum %d, want %d", total, g.NumVertices()-1)
+	}
+	subTotal := 0
+	for _, v := range prof.Substeps {
+		subTotal += v
+	}
+	if subTotal != st.Substeps {
+		t.Fatalf("substep sum %d, want %d", subTotal, st.Substeps)
+	}
+}
+
+func TestSummaryOrderStatistics(t *testing.T) {
+	p := &StepProfile{
+		Settled:  []int{1, 9, 5, 3, 7, 2, 8, 4, 6, 10},
+		Substeps: []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2},
+	}
+	s := p.Summarize()
+	if s.Steps != 10 || s.TotalSettled != 55 {
+		t.Fatalf("basic sums wrong: %+v", s)
+	}
+	if s.MeanSettled != 5.5 || s.MaxSettled != 10 {
+		t.Fatalf("mean/max wrong: %+v", s)
+	}
+	if s.MedianSettled != 6 { // sorted[5]
+		t.Fatalf("median = %d", s.MedianSettled)
+	}
+	if s.P10 != 2 || s.P90 != 10 { // sorted[1], sorted[9]
+		t.Fatalf("percentiles = %d, %d", s.P10, s.P90)
+	}
+	if s.MeanSubsteps != 2 {
+		t.Fatalf("substeps mean = %v", s.MeanSubsteps)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := (&StepProfile{}).Summarize()
+	if s.Steps != 0 || s.MeanSettled != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestProfileParallelismGrowsWithRho(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(30, 30), 1, 10000, 2)
+	var prevMean float64
+	for i, rho := range []int{2, 16, 64} {
+		pre, err := preprocess.Run(g, preprocess.Options{Rho: rho, K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, _, err := Profile(pre.G, pre.Radii, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := prof.Summarize()
+		if i > 0 && s.MeanSettled <= prevMean {
+			t.Fatalf("mean settled did not grow: rho=%d gives %.1f after %.1f", rho, s.MeanSettled, prevMean)
+		}
+		prevMean = s.MeanSettled
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+
+	"radiusstep/internal/graph"
+)
+
+// refHeapEnt is a lazy-deletion heap entry keyed by key with payload v.
+type refHeapEnt struct {
+	key float64
+	v   graph.V
+}
+
+// refHeap is a plain binary min-heap with lazy deletion: stale entries
+// (whose key no longer matches the vertex's current key) are skipped at
+// pop time. Decrease-key is "push a fresh entry".
+type refHeap []refHeapEnt
+
+func (h *refHeap) push(e refHeapEnt) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].key <= e.key {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = e
+}
+
+func (h *refHeap) pop() refHeapEnt {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	e := s[last]
+	*h = s[:last]
+	if last > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && s[c+1].key < s[c].key {
+				c++
+			}
+			if s[c].key >= e.key {
+				break
+			}
+			s[i] = s[c]
+			i = c
+		}
+		s[i] = e
+	}
+	return top
+}
+
+// SolveRef computes shortest-path distances from src with the reference
+// (sequential) Radius-Stepping. It returns +Inf for unreachable vertices.
+func SolveRef(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
+	return SolveRefTrace(g, radii, src, nil)
+}
+
+// SolveRefTrace is SolveRef with an optional per-step observer, used by
+// the Figure-1 demo and by tests that assert the step structure.
+func SolveRefTrace(g *graph.CSR, radii []float64, src graph.V, trace func(StepTrace)) ([]float64, Stats, error) {
+	return solveRef(g, radii, src, trace, -1)
+}
+
+// solveRef is the reference engine. When stopAt >= 0 the solve ends as
+// soon as that vertex is settled (its distance is then exact by Theorem
+// 3.1); remaining distances are tentative upper bounds or +Inf.
+func solveRef(g *graph.CSR, radii []float64, src graph.V, trace func(StepTrace), stopAt graph.V) ([]float64, Stats, error) {
+	if err := validate(g, radii, src); err != nil {
+		return nil, Stats{}, err
+	}
+	n := g.NumVertices()
+	var st Stats
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	done := make([]bool, n)  // settled in an earlier step
+	act := make([]uint32, n) // == step: active (settled) in current step
+	sub := make([]uint32, n) // dedupe stamp for substep frontiers
+	var q, r refHeap         // Q keyed by δ(v), R keyed by δ(v)+r(v)
+
+	dist[src] = 0
+	done[src] = true
+	// Line 2 of Algorithm 1: relax the source's neighbors up front.
+	adj, ws := g.Neighbors(src)
+	st.EdgesScanned += int64(len(adj))
+	for i, v := range adj {
+		if ws[i] < dist[v] {
+			dist[v] = ws[i]
+			st.Relaxations++
+			q.push(refHeapEnt{dist[v], v})
+			r.push(refHeapEnt{dist[v] + radii[v], v})
+		}
+	}
+
+	step := uint32(0)
+	subID := uint32(0)
+	active := make([]graph.V, 0, 64)
+	frontier := make([]graph.V, 0, 64)
+	next := make([]graph.V, 0, 64)
+
+	for {
+		// Pop stale R entries to find the round distance d_i and lead.
+		var di float64
+		var lead graph.V = -1
+		for len(r) > 0 {
+			top := r[0]
+			if done[top.v] || top.key != dist[top.v]+radii[top.v] {
+				r.pop()
+				continue
+			}
+			di = top.key
+			lead = top.v
+			break
+		}
+		if lead == -1 {
+			break // everything reached is settled
+		}
+		step++
+		st.Steps++
+
+		// Extract A = {v unsettled : δ(v) <= d_i} from Q.
+		active = active[:0]
+		for len(q) > 0 {
+			top := q[0]
+			if done[top.v] || top.key != dist[top.v] {
+				q.pop()
+				continue
+			}
+			if top.key > di {
+				break
+			}
+			q.pop()
+			act[top.v] = step
+			active = append(active, top.v)
+		}
+
+		// Bellman–Ford substeps: relax from changed vertices only; a
+		// round that produces no δ(v) <= d_i update is the last. Each
+		// substep is synchronous (Jacobi): relaxations read the
+		// distances as of the start of the substep, matching the PRAM
+		// semantics of the paper and making substep counts identical
+		// across all engines.
+		frontier = append(frontier[:0], active...)
+		snap := make([]float64, 0, len(frontier))
+		substeps := 0
+		for len(frontier) > 0 {
+			substeps++
+			subID++
+			next = next[:0]
+			snap = snap[:0]
+			for _, u := range frontier {
+				snap = append(snap, dist[u])
+			}
+			for fi, u := range frontier {
+				du := snap[fi]
+				adj, ws := g.Neighbors(u)
+				st.EdgesScanned += int64(len(adj))
+				for i, v := range adj {
+					if done[v] {
+						continue
+					}
+					nd := du + ws[i]
+					if nd >= dist[v] {
+						continue
+					}
+					dist[v] = nd
+					st.Relaxations++
+					if nd <= di {
+						if act[v] != step {
+							act[v] = step
+							active = append(active, v)
+						}
+						if sub[v] != subID {
+							sub[v] = subID
+							next = append(next, v)
+						}
+					} else {
+						q.push(refHeapEnt{nd, v})
+						r.push(refHeapEnt{nd + radii[v], v})
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+		st.Substeps += substeps
+		if substeps > st.MaxSubsteps {
+			st.MaxSubsteps = substeps
+		}
+		if len(active) > st.MaxStep {
+			st.MaxStep = len(active)
+		}
+		for _, v := range active {
+			done[v] = true
+		}
+		if trace != nil {
+			trace(StepTrace{Step: int(step), Di: di, Lead: lead, Settled: len(active), Substeps: substeps})
+		}
+		if stopAt >= 0 && done[stopAt] {
+			break
+		}
+	}
+	return dist, st, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/preprocess"
+)
+
+func TestShortestPathTreeTightAndComplete(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.RandomConnected(250, 700, 1), 1, 40, 2)
+	dist := baseline.Dijkstra(g, 0)
+	parent := ShortestPathTree(g, 0, dist)
+	if parent[0] != 0 {
+		t.Fatal("root parent wrong")
+	}
+	for v := 1; v < g.NumVertices(); v++ {
+		p := parent[v]
+		if p < 0 {
+			t.Fatalf("no parent for reachable %d", v)
+		}
+		w, ok := graph.EdgeWeight(g, p, graph.V(v))
+		if !ok || dist[p]+w != dist[v] {
+			t.Fatalf("parent edge (%d,%d) not tight", p, v)
+		}
+	}
+}
+
+func TestShortestPathTreeUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.Add(0, 1, 1)
+	g := b.Build()
+	dist := baseline.Dijkstra(g, 0)
+	parent := ShortestPathTree(g, 0, dist)
+	if parent[2] != -1 || parent[3] != -1 {
+		t.Fatalf("unreachable parents = %v", parent)
+	}
+}
+
+func TestPathToProperties(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(12, 12), 1, 30, 3)
+	dist := baseline.Dijkstra(g, 5)
+	parent := ShortestPathTree(g, 5, dist)
+	for _, dst := range []graph.V{0, 77, 143} {
+		path := PathTo(parent, dst)
+		if path[0] != 5 || path[len(path)-1] != dst {
+			t.Fatalf("dst %d: endpoints %v", dst, path)
+		}
+		// Distances strictly increase along the path.
+		for i := 1; i < len(path); i++ {
+			if dist[path[i]] <= dist[path[i-1]] && dst != 5 {
+				t.Fatalf("dst %d: distances not increasing", dst)
+			}
+		}
+	}
+	if PathTo(parent, -1) != nil || PathTo(parent, 999) != nil {
+		t.Fatal("bad dst should return nil")
+	}
+	if got := PathTo(parent, 5); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("src path = %v", got)
+	}
+}
+
+func TestPathToDetectsCorruptParents(t *testing.T) {
+	parent := []graph.V{1, 0, 2} // 0 <-> 1 cycle, neither is a root
+	if PathTo(parent, 0) != nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestSolveRefTargetExactAndEarly(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(40, 40), 1, 100, 4)
+	radii, err := preprocess.RadiiOnly(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := baseline.Dijkstra(g, 0)
+	_, stFull, _ := SolveRef(g, radii, 0)
+	for _, target := range []graph.V{1, 41, 800, 1599} {
+		d, dist, st, err := SolveRefTarget(g, radii, 0, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != full[target] {
+			t.Fatalf("target %d: %v, want %v", target, d, full[target])
+		}
+		if dist[target] != d {
+			t.Fatal("partial vector inconsistent at target")
+		}
+		if st.Steps > stFull.Steps {
+			t.Fatalf("target solve took more steps than full: %d > %d", st.Steps, stFull.Steps)
+		}
+		// Settled prefix exactness: every vertex with final distance
+		// strictly below the target's must be exact in the partial
+		// vector (it settled in an earlier or equal annulus).
+		for v, want := range full {
+			if want < d && dist[v] != want {
+				t.Fatalf("target %d: settled prefix wrong at %d", target, v)
+			}
+		}
+	}
+	// Near target needs fewer steps than far target.
+	_, _, stNear, _ := SolveRefTarget(g, radii, 0, 1)
+	_, _, stFar, _ := SolveRefTarget(g, radii, 0, 1599)
+	if stNear.Steps >= stFar.Steps {
+		t.Fatalf("near %d vs far %d steps", stNear.Steps, stFar.Steps)
+	}
+}
+
+func TestSolveRefTargetSelf(t *testing.T) {
+	g := gen.Chain(10)
+	radii := ZeroRadii(10)
+	d, _, _, err := SolveRefTarget(g, radii, 3, 3)
+	if err != nil || d != 0 {
+		t.Fatalf("self target: %v, %v", d, err)
+	}
+}
+
+func TestSolveRefTargetUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.Add(0, 1, 1)
+	g := b.Build()
+	d, _, _, err := SolveRefTarget(g, ZeroRadii(4), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("unreachable target = %v", d)
+	}
+	if _, _, _, err := SolveRefTarget(g, ZeroRadii(4), 0, 9); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+// TestQuickTreeIsValidSPT: on random graphs, the derived tree is always
+// a valid shortest-path tree for Dijkstra distances.
+func TestQuickTreeIsValidSPT(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.WithUniformIntWeights(gen.RandomConnected(60, 150, seed), 1, 25, seed^5)
+		dist := baseline.Dijkstra(g, 0)
+		parent := ShortestPathTree(g, 0, dist)
+		for v := 1; v < g.NumVertices(); v++ {
+			w, ok := graph.EdgeWeight(g, parent[v], graph.V(v))
+			if !ok || dist[parent[v]]+w != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

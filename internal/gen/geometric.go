@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"math"
+
+	"radiusstep/internal/graph"
+)
+
+// RoadNet generates a random geometric graph that stands in for the
+// paper's SNAP road networks (which cannot be fetched offline): n points
+// uniform on the unit square, an edge between every pair within Euclidean
+// distance r, where r is set so the expected average degree is avgDeg.
+// Edge weights are the Euclidean distances scaled so the smallest edge is
+// about 1.
+//
+// Like real road networks the result is near-planar with small constant
+// degree and Θ(√n) hop diameter, which are the properties the paper's
+// road-map observations rely on. The graph may have more than one
+// component; callers wanting a connected instance should take
+// graph.LargestComponent (at avgDeg ≥ 6 the largest component contains
+// almost all vertices).
+func RoadNet(n int, avgDeg float64, seed uint64) *graph.CSR {
+	if n < 2 {
+		panic("gen: RoadNet needs at least 2 vertices")
+	}
+	if avgDeg <= 0 {
+		panic("gen: average degree must be positive")
+	}
+	r := math.Sqrt(avgDeg / (math.Pi * float64(n)))
+	rnd := rng(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rnd.Float64()
+		ys[i] = rnd.Float64()
+	}
+	// Cell-bucketed neighbor search: cells of side r, check 3×3 blocks.
+	cells := int(math.Ceil(1 / r))
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[int64][]graph.V, n)
+	cellOf := func(i int) (int, int) {
+		cx := int(xs[i] / r)
+		cy := int(ys[i] / r)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	key := func(cx, cy int) int64 { return int64(cx)*int64(cells) + int64(cy) }
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		k := key(cx, cy)
+		bucket[k] = append(bucket[k], graph.V(i))
+	}
+	var edges []graph.Edge
+	minD := math.Inf(1)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, j := range bucket[key(nx, ny)] {
+					if int(j) <= i {
+						continue // each pair once
+					}
+					ddx := xs[i] - xs[j]
+					ddy := ys[i] - ys[j]
+					d := math.Sqrt(ddx*ddx + ddy*ddy)
+					if d <= r {
+						if d < minD && d > 0 {
+							minD = d
+						}
+						edges = append(edges, graph.Edge{U: graph.V(i), V: j, W: d})
+					}
+				}
+			}
+		}
+	}
+	// Normalize so the lightest edge is ~1 (the paper's convention).
+	scale := 1.0
+	if !math.IsInf(minD, 1) && minD > 0 {
+		scale = 1 / minD
+	}
+	for i := range edges {
+		w := edges[i].W * scale
+		if w < 1 {
+			w = 1
+		}
+		edges[i].W = w
+	}
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,37 @@
+package gen
+
+import "radiusstep/internal/graph"
+
+// Comb builds a sparse unweighted graph with the property of the paper's
+// Figure 2: breadth-first search from any vertex must look at Θ(d²) edges
+// before it has reached 3d vertices, even though the graph has constant
+// average degree.
+//
+// Construction: a clique K_d whose every vertex carries a pendant path of
+// 2d fresh vertices. A path vertex can reach at most 2d+1 vertices without
+// crossing the clique, and crossing the clique costs Θ(d²) edge looks; a
+// clique vertex spends Θ(d²) looks scanning its d-1 neighbors' cliques
+// before the pendant paths deliver vertices one edge per vertex. Total:
+// n = d(2d+1) vertices, m = d(d-1)/2 + 2d² edges, so m/n < 1.25.
+func Comb(d int) *graph.CSR {
+	if d < 2 {
+		panic("gen: Comb needs d >= 2")
+	}
+	n := d + 2*d*d
+	b := graph.NewBuilder(n)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			b.Add(graph.V(i), graph.V(j), 1)
+		}
+	}
+	next := d
+	for i := 0; i < d; i++ {
+		prev := graph.V(i)
+		for step := 0; step < 2*d; step++ {
+			b.Add(prev, graph.V(next), 1)
+			prev = graph.V(next)
+			next++
+		}
+	}
+	return b.Build()
+}

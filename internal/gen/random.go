@@ -1,0 +1,73 @@
+package gen
+
+import "radiusstep/internal/graph"
+
+// ErdosRenyi returns a G(n, m)-style random graph: m distinct uniformly
+// random non-loop edges with unit weights. Used mainly by tests and
+// property checks, where unstructured graphs exercise corner cases the
+// structured generators do not.
+func ErdosRenyi(n, m int, seed uint64) *graph.CSR {
+	if n < 2 {
+		panic("gen: ErdosRenyi needs at least 2 vertices")
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	rnd := rng(seed)
+	seen := make(map[uint64]bool, m)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := graph.V(rnd.IntN(n))
+		v := graph.V(rnd.IntN(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(uint32(v))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// RandomConnected returns a connected random graph: a random spanning
+// tree (random attachment) plus extra random edges up to m total.
+func RandomConnected(n, m int, seed uint64) *graph.CSR {
+	if n < 1 {
+		panic("gen: RandomConnected needs at least 1 vertex")
+	}
+	rnd := rng(seed)
+	edges := make([]graph.Edge, 0, m)
+	seen := make(map[uint64]bool, m)
+	addKey := func(u, v graph.V) bool {
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(uint32(v))
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	}
+	for v := 1; v < n; v++ {
+		u := graph.V(rnd.IntN(v))
+		addKey(u, graph.V(v))
+		edges = append(edges, graph.Edge{U: u, V: graph.V(v), W: 1})
+	}
+	for len(edges) < m {
+		u := graph.V(rnd.IntN(n))
+		v := graph.V(rnd.IntN(n))
+		if u == v || !addKey(u, v) {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+	}
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,106 @@
+package gen
+
+import "radiusstep/internal/graph"
+
+// RMAT generates a recursive-matrix (R-MAT) graph, the other standard
+// synthetic model for skewed real-world graphs (Chakrabarti et al.):
+// each of m edges is placed by recursively descending into one of the
+// four quadrants of the adjacency matrix with probabilities a, b, c, d.
+// scale is log2 of the vertex count. Self-loops and duplicates are
+// dropped by the builder, so the result has at most m edges. The classic
+// parameters a=0.57, b=0.19, c=0.19, d=0.05 give web-like skew.
+func RMAT(scale, m int, a, b, c float64, seed uint64) *graph.CSR {
+	if scale < 1 || scale > 30 {
+		panic("gen: RMAT scale out of range [1,30]")
+	}
+	d := 1 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		panic("gen: RMAT probabilities must be nonnegative and sum to <= 1")
+	}
+	n := 1 << scale
+	rnd := rng(seed)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rnd.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v), W: 1})
+	}
+	_ = n
+	return graph.FromEdges(1<<scale, edges)
+}
+
+// RMATDefault is RMAT with the canonical (0.57, 0.19, 0.19) parameters.
+func RMATDefault(scale, m int, seed uint64) *graph.CSR {
+	return RMAT(scale, m, 0.57, 0.19, 0.19, seed)
+}
+
+// SmallWorld generates a Watts–Strogatz small-world graph: a ring where
+// each vertex connects to its k nearest ring neighbors (k even), with
+// each edge rewired to a uniform random endpoint with probability beta.
+// It interpolates between a high-diameter lattice (beta=0) and a random
+// graph (beta=1), exercising the regime between the paper's grids and
+// web graphs.
+func SmallWorld(n, k int, beta float64, seed uint64) *graph.CSR {
+	if n < 4 || k < 2 || k%2 != 0 || k >= n {
+		panic("gen: SmallWorld needs n >= 4 and even k in [2, n)")
+	}
+	if beta < 0 || beta > 1 {
+		panic("gen: SmallWorld beta must be in [0,1]")
+	}
+	rnd := rng(seed)
+	seen := make(map[uint64]bool, n*k/2)
+	key := func(u, v graph.V) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(uint32(v))
+	}
+	edges := make([]graph.Edge, 0, n*k/2)
+	add := func(u, v graph.V) bool {
+		if u == v || seen[key(u, v)] {
+			return false
+		}
+		seen[key(u, v)] = true
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			u := graph.V(i)
+			v := graph.V((i + j) % n)
+			if rnd.Float64() < beta {
+				// Rewire: pick a random endpoint, retrying collisions a
+				// bounded number of times before keeping the lattice edge.
+				rewired := false
+				for try := 0; try < 8; try++ {
+					w := graph.V(rnd.IntN(n))
+					if add(u, w) {
+						rewired = true
+						break
+					}
+				}
+				if rewired {
+					continue
+				}
+			}
+			add(u, v)
+		}
+	}
+	return graph.FromEdges(n, edges)
+}

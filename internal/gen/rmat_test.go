@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"testing"
+
+	"radiusstep/internal/graph"
+)
+
+func TestRMATProperties(t *testing.T) {
+	g := RMATDefault(12, 20000, 7)
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates get merged: edge count is at most requested.
+	if g.NumEdges() > 20000 {
+		t.Fatalf("m = %d > requested", g.NumEdges())
+	}
+	if g.NumEdges() < 10000 {
+		t.Fatalf("m = %d implausibly low", g.NumEdges())
+	}
+	// Skew: max degree far above average.
+	avg := float64(g.NumArcs()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 8*avg {
+		t.Fatalf("no skew: max %d vs avg %.1f", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATDeterminism(t *testing.T) {
+	a := RMATDefault(10, 5000, 3)
+	b := RMATDefault(10, 5000, 3)
+	if a.NumEdges() != b.NumEdges() || !equalAdj(a, b) {
+		t.Fatal("same seed produced different RMAT graphs")
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"scale":    func() { RMAT(0, 10, 0.5, 0.2, 0.2, 1) },
+		"big":      func() { RMAT(31, 10, 0.5, 0.2, 0.2, 1) },
+		"probs":    func() { RMAT(5, 10, 0.8, 0.2, 0.2, 1) },
+		"negative": func() { RMAT(5, 10, -0.1, 0.5, 0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSmallWorldLattice(t *testing.T) {
+	// beta=0 is the pure ring lattice: every vertex has degree k.
+	g := SmallWorld(100, 4, 0, 1)
+	if g.NumEdges() != 200 {
+		t.Fatalf("m = %d, want 200", g.NumEdges())
+	}
+	for v := 0; v < 100; v++ {
+		if g.Degree(graph.V(v)) != 4 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(graph.V(v)))
+		}
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("lattice must be connected")
+	}
+}
+
+func TestSmallWorldRewiringShrinksDiameter(t *testing.T) {
+	// Rewiring must shrink the hop diameter dramatically — the
+	// small-world effect itself.
+	lattice := SmallWorld(2000, 4, 0, 2)
+	rewired := SmallWorld(2000, 4, 0.1, 2)
+	eccL := eccFrom(lattice, 0)
+	eccR := eccFrom(rewired, 0)
+	if eccR*3 > eccL {
+		t.Fatalf("no small-world effect: lattice ecc %d, rewired %d", eccL, eccR)
+	}
+}
+
+func eccFrom(g *graph.CSR, src graph.V) int {
+	// Simple BFS eccentricity (duplicated from baseline to avoid an
+	// import cycle in tests).
+	n := g.NumVertices()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []graph.V{src}
+	ecc := 0
+	for len(frontier) > 0 {
+		var next []graph.V
+		for _, u := range frontier {
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					if dist[v] > ecc {
+						ecc = dist[v]
+					}
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return ecc
+}
+
+func TestSmallWorldValidation(t *testing.T) {
+	g := SmallWorld(500, 6, 0.2, 3)
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	a := SmallWorld(500, 6, 0.2, 3)
+	if !equalAdj(g, a) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestSmallWorldPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"small": func() { SmallWorld(3, 2, 0, 1) },
+		"odd":   func() { SmallWorld(10, 3, 0, 1) },
+		"beta":  func() { SmallWorld(10, 2, 1.5, 1) },
+		"kbig":  func() { SmallWorld(10, 10, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,99 @@
+// Package graph provides the weighted undirected graph substrate used by
+// every algorithm in this repository: a compressed-sparse-row (CSR)
+// representation, an edge-list builder, transforms, validation, and
+// serialization.
+//
+// Conventions: vertices are dense int32 ids in [0, n). Each undirected
+// edge {u, v, w} is stored as two directed arcs. Edge weights are
+// non-negative float64 values; following the paper, graphs are normalized
+// so the lightest non-zero weight is 1, and L denotes the heaviest weight.
+package graph
+
+import "math"
+
+// V is a vertex identifier.
+type V = int32
+
+// CSR is an immutable undirected weighted graph in compressed-sparse-row
+// form. Off has length n+1; Adj and W have length 2m and hold, for each
+// vertex u, its incident arcs in Adj[Off[u]:Off[u+1]].
+type CSR struct {
+	Off []int64
+	Adj []V
+	W   []float64
+}
+
+// NumVertices returns n.
+func (g *CSR) NumVertices() int { return len(g.Off) - 1 }
+
+// NumArcs returns the number of directed arcs (2m for an undirected graph).
+func (g *CSR) NumArcs() int { return len(g.Adj) }
+
+// NumEdges returns the number of undirected edges m.
+func (g *CSR) NumEdges() int { return len(g.Adj) / 2 }
+
+// Degree returns the number of arcs out of u.
+func (g *CSR) Degree(u V) int { return int(g.Off[u+1] - g.Off[u]) }
+
+// Neighbors returns the adjacency and weight slices of u. The returned
+// slices alias the graph and must not be modified.
+func (g *CSR) Neighbors(u V) ([]V, []float64) {
+	lo, hi := g.Off[u], g.Off[u+1]
+	return g.Adj[lo:hi], g.W[lo:hi]
+}
+
+// MaxWeight returns L, the largest edge weight (0 for an edgeless graph).
+func (g *CSR) MaxWeight() float64 {
+	maxW := 0.0
+	for _, w := range g.W {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return maxW
+}
+
+// MinWeight returns the smallest edge weight (+Inf for an edgeless graph).
+func (g *CSR) MinWeight() float64 {
+	minW := math.Inf(1)
+	for _, w := range g.W {
+		if w < minW {
+			minW = w
+		}
+	}
+	return minW
+}
+
+// IsUnit reports whether every edge weight equals 1.
+func (g *CSR) IsUnit() bool {
+	for _, w := range g.W {
+		if w != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDegree returns the largest vertex degree.
+func (g *CSR) MaxDegree() int {
+	best := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		if d := g.Degree(V(u)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of g.
+func (g *CSR) Clone() *CSR {
+	c := &CSR{
+		Off: make([]int64, len(g.Off)),
+		Adj: make([]V, len(g.Adj)),
+		W:   make([]float64, len(g.W)),
+	}
+	copy(c.Off, g.Off)
+	copy(c.Adj, g.Adj)
+	copy(c.W, g.W)
+	return c
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format: a header line "p sssp <n> <m>" followed by m lines
+// "<u> <v> <w>". Lines starting with '#' or 'c' are comments. This is a
+// small DIMACS-like interchange format for the cmd tools and tests.
+
+// WriteText serializes g in the text edge-list format.
+func WriteText(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p sssp %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range Edges(g) {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", e.U, e.V, strconv.FormatFloat(e.W, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text edge-list format.
+func ReadText(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n, m int
+	var edges []Edge
+	seenHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == 'c' {
+			continue
+		}
+		if !seenHeader {
+			var kind string
+			if _, err := fmt.Sscanf(text, "p %s %d %d", &kind, &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: bad header at line %d: %q", line, text)
+			}
+			if kind != "sssp" {
+				return nil, fmt.Errorf("graph: unsupported problem kind %q", kind)
+			}
+			seenHeader = true
+			edges = make([]Edge, 0, m)
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: bad edge at line %d: %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint at line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint at line %d: %v", line, err)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad weight at line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 || u >= int64(n) || v >= int64(n) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range at line %d", u, v, line)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("graph: negative weight at line %d", line)
+		}
+		edges = append(edges, Edge{V(u), V(v), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, len(edges))
+	}
+	return FromEdges(n, edges), nil
+}
+
+// binaryMagic identifies the binary CSR format.
+const binaryMagic = uint32(0x52535447) // "GTSR"
+
+// WriteBinary serializes g in a compact little-endian binary format:
+// magic, n, arcs, Off, Adj, W.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{uint64(binaryMagic), uint64(g.NumVertices()), uint64(g.NumArcs())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Off); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Adj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.W); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary CSR format and validates array sizes.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var magic, n, arcs uint64
+	for _, p := range []*uint64{&magic, &n, &arcs} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if uint32(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	const maxReasonable = 1 << 34
+	if n > maxReasonable || arcs > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d arcs=%d", n, arcs)
+	}
+	g := &CSR{
+		Off: make([]int64, n+1),
+		Adj: make([]V, arcs),
+		W:   make([]float64, arcs),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Off); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.W); err != nil {
+		return nil, err
+	}
+	if g.Off[0] != 0 || uint64(g.Off[n]) != arcs {
+		return nil, fmt.Errorf("graph: corrupt offsets")
+	}
+	return g, nil
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "sort"
+
+// Relabeling utilities. Vertex order strongly affects cache locality of
+// CSR traversals: BFS order places topological neighborhoods together
+// (good for road networks and grids), degree order places hubs first
+// (good for scale-free graphs). Both transforms preserve the graph up to
+// isomorphism; distances permute accordingly.
+
+// ApplyOrder relabels g by the permutation perm, where perm[old] = new.
+// It panics if perm is not a permutation of [0, n).
+func ApplyOrder(g *CSR, perm []V) *CSR {
+	n := g.NumVertices()
+	if len(perm) != n {
+		panic("graph: permutation length mismatch")
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			panic("graph: not a permutation")
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		adj, ws := g.Neighbors(V(u))
+		for i, v := range adj {
+			if V(u) < v {
+				edges = append(edges, Edge{perm[u], perm[v], ws[i]})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// BFSOrder returns a permutation relabeling vertices in breadth-first
+// discovery order from root, with unreached vertices appended in id
+// order. perm[old] = new.
+func BFSOrder(g *CSR, root V) []V {
+	n := g.NumVertices()
+	perm := make([]V, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	next := V(0)
+	assign := func(v V) {
+		perm[v] = next
+		next++
+	}
+	frontier := []V{root}
+	assign(root)
+	for len(frontier) > 0 {
+		var nf []V
+		for _, u := range frontier {
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				if perm[v] == -1 {
+					assign(v)
+					nf = append(nf, v)
+				}
+			}
+		}
+		frontier = nf
+	}
+	for v := 0; v < n; v++ {
+		if perm[v] == -1 {
+			assign(V(v))
+		}
+	}
+	return perm
+}
+
+// DegreeOrder returns a permutation placing vertices in descending
+// degree order (ties by original id), so hubs get small ids and cluster
+// at the front of the arrays.
+func DegreeOrder(g *CSR) []V {
+	n := g.NumVertices()
+	byDeg := make([]V, n)
+	for i := range byDeg {
+		byDeg[i] = V(i)
+	}
+	sort.Slice(byDeg, func(i, j int) bool {
+		di, dj := g.Degree(byDeg[i]), g.Degree(byDeg[j])
+		if di != dj {
+			return di > dj
+		}
+		return byDeg[i] < byDeg[j]
+	})
+	perm := make([]V, n)
+	for newID, old := range byDeg {
+		perm[old] = V(newID)
+	}
+	return perm
+}
+
+// ReorderBFS relabels g in BFS order from root and returns the new graph
+// with the permutation used (perm[old] = new).
+func ReorderBFS(g *CSR, root V) (*CSR, []V) {
+	perm := BFSOrder(g, root)
+	return ApplyOrder(g, perm), perm
+}
+
+// ReorderByDegree relabels g in descending-degree order.
+func ReorderByDegree(g *CSR) (*CSR, []V) {
+	perm := DegreeOrder(g)
+	return ApplyOrder(g, perm), perm
+}
+
+// PermuteFloats rearranges values so out[perm[i]] = in[i]; the inverse
+// mapping for distance vectors across a relabeling.
+func PermuteFloats(in []float64, perm []V) []float64 {
+	out := make([]float64, len(in))
+	for i, p := range perm {
+		out[p] = in[i]
+	}
+	return out
+}

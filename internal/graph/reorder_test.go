@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ladder() *CSR {
+	b := NewBuilder(6)
+	b.Add(0, 1, 1)
+	b.Add(1, 2, 2)
+	b.Add(2, 3, 3)
+	b.Add(3, 4, 4)
+	b.Add(4, 5, 5)
+	b.Add(0, 5, 10)
+	return b.Build()
+}
+
+func TestApplyOrderIdentity(t *testing.T) {
+	g := ladder()
+	perm := make([]V, 6)
+	for i := range perm {
+		perm[i] = V(i)
+	}
+	g2 := ApplyOrder(g, perm)
+	if !SameGraph(g, g2) {
+		t.Fatal("identity permutation changed the graph")
+	}
+}
+
+func TestApplyOrderPreservesStructure(t *testing.T) {
+	g := ladder()
+	perm := []V{5, 4, 3, 2, 1, 0} // reverse
+	g2 := ApplyOrder(g, perm)
+	if err := Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	// Edge (0,1,w=1) becomes (5,4,w=1).
+	if w, ok := EdgeWeight(g2, 4, 5); !ok || w != 1 {
+		t.Fatalf("relabeled edge weight = %v, %v", w, ok)
+	}
+}
+
+func TestApplyOrderPanicsOnBadPerm(t *testing.T) {
+	g := ladder()
+	for name, perm := range map[string][]V{
+		"short": {0, 1, 2},
+		"dup":   {0, 1, 2, 3, 4, 4},
+		"range": {0, 1, 2, 3, 4, 9},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			ApplyOrder(g, perm)
+		}()
+	}
+}
+
+func TestBFSOrderProperties(t *testing.T) {
+	g := ladder()
+	perm := BFSOrder(g, 2)
+	if perm[2] != 0 {
+		t.Fatalf("root should map to 0, got %d", perm[2])
+	}
+	// Neighbors of the root get the next labels (1 and 3 in some order).
+	if perm[1] > 2 || perm[3] > 2 {
+		t.Fatalf("root neighbors not early: %v", perm)
+	}
+	// Disconnected vertices are appended.
+	b := NewBuilder(4)
+	b.Add(0, 1, 1)
+	g2 := b.Build()
+	p2 := BFSOrder(g2, 0)
+	if p2[2] != 2 || p2[3] != 3 {
+		t.Fatalf("unreached vertices misplaced: %v", p2)
+	}
+}
+
+func TestDegreeOrderPutsHubsFirst(t *testing.T) {
+	b := NewBuilder(5)
+	b.Add(0, 1, 1)
+	b.Add(2, 0, 1)
+	b.Add(2, 1, 1)
+	b.Add(2, 3, 1)
+	b.Add(2, 4, 1) // vertex 2 has degree 4
+	g := b.Build()
+	perm := DegreeOrder(g)
+	if perm[2] != 0 {
+		t.Fatalf("hub should map to 0, got %d", perm[2])
+	}
+}
+
+func TestReorderRoundTripMetric(t *testing.T) {
+	g := ladder()
+	g2, perm := ReorderBFS(g, 3)
+	if err := Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+	// Weight multiset preserved.
+	sumW := func(g *CSR) float64 {
+		var s float64
+		for _, w := range g.W {
+			s += w
+		}
+		return s
+	}
+	if sumW(g) != sumW(g2) {
+		t.Fatal("weights changed")
+	}
+	// Adjacency preserved under relabeling.
+	for u := 0; u < 6; u++ {
+		adj, ws := g.Neighbors(V(u))
+		for i, v := range adj {
+			w, ok := EdgeWeight(g2, perm[u], perm[v])
+			if !ok || w != ws[i] {
+				t.Fatalf("edge (%d,%d) lost or reweighted", u, v)
+			}
+		}
+	}
+}
+
+func TestPermuteFloats(t *testing.T) {
+	in := []float64{10, 20, 30}
+	perm := []V{2, 0, 1}
+	out := PermuteFloats(in, perm)
+	if out[2] != 10 || out[0] != 20 || out[1] != 30 {
+		t.Fatalf("PermuteFloats = %v", out)
+	}
+}
+
+// TestQuickReorderPreservesDegreesAndWeights: any random permutation
+// keeps the degree multiset and total weight.
+func TestQuickReorderPreservesDegreesAndWeights(t *testing.T) {
+	f := func(swaps []uint8) bool {
+		g := ladder()
+		perm := []V{0, 1, 2, 3, 4, 5}
+		for _, s := range swaps {
+			i, j := int(s%6), int((s/6)%6)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		g2 := ApplyOrder(g, perm)
+		if Validate(g2) != nil || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		degs := map[int]int{}
+		for v := 0; v < 6; v++ {
+			degs[g.Degree(V(v))]++
+			degs[g2.Degree(V(v))]--
+		}
+		for _, c := range degs {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+// Components labels the connected components of g. It returns one label
+// per vertex (labels are component-minimum vertex ids) and the number of
+// components, using an iterative BFS over unlabeled vertices.
+func Components(g *CSR) (label []V, count int) {
+	n := g.NumVertices()
+	label = make([]V, n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]V, 0, 1024)
+	for s := 0; s < n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		count++
+		root := V(s)
+		label[s] = root
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				if label[v] == -1 {
+					label[v] = root
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// IsConnected reports whether g has exactly one connected component
+// (the empty graph is considered connected).
+func IsConnected(g *CSR) bool {
+	if g.NumVertices() == 0 {
+		return true
+	}
+	_, c := Components(g)
+	return c == 1
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component of g, with vertices relabeled densely, plus the mapping from
+// new ids to original ids. Workload preparation uses this because the
+// paper's graphs are connected.
+func LargestComponent(g *CSR) (*CSR, []V) {
+	n := g.NumVertices()
+	label, count := Components(g)
+	if count <= 1 {
+		ids := make([]V, n)
+		for i := range ids {
+			ids[i] = V(i)
+		}
+		return g.Clone(), ids
+	}
+	sizes := make(map[V]int, count)
+	for _, l := range label {
+		sizes[l]++
+	}
+	best, bestSize := V(-1), -1
+	for l, s := range sizes {
+		if s > bestSize || (s == bestSize && l < best) {
+			best, bestSize = l, s
+		}
+	}
+	newID := make([]V, n)
+	oldID := make([]V, 0, bestSize)
+	for u := 0; u < n; u++ {
+		if label[u] == best {
+			newID[u] = V(len(oldID))
+			oldID = append(oldID, V(u))
+		} else {
+			newID[u] = -1
+		}
+	}
+	b := NewBuilder(bestSize)
+	for _, u := range oldID {
+		adj, ws := g.Neighbors(u)
+		for i, v := range adj {
+			if u < v && label[v] == best {
+				b.Add(newID[u], newID[v], ws[i])
+			}
+		}
+	}
+	return b.Build(), oldID
+}
+
+// Reweight returns a copy of g with weights produced by fn(u, v, old).
+// fn is called once per undirected edge (u < v).
+func Reweight(g *CSR, fn func(u, v V, w float64) float64) *CSR {
+	edges := Edges(g)
+	for i := range edges {
+		edges[i].W = fn(edges[i].U, edges[i].V, edges[i].W)
+	}
+	return FromEdges(g.NumVertices(), edges)
+}
+
+// UnitWeights returns a copy of g with every weight set to 1.
+func UnitWeights(g *CSR) *CSR {
+	return Reweight(g, func(_, _ V, _ float64) float64 { return 1 })
+}

@@ -1,0 +1,73 @@
+package parallel
+
+// PackIndex returns, in ascending order, every index i in [0, n) for which
+// keep(i) is true. It is the parallel "pack" (stream compaction) primitive:
+// a count pass, an exclusive scan over block counts, then a scatter pass.
+func PackIndex(n int, keep func(i int) bool) []int32 {
+	if n <= 0 {
+		return nil
+	}
+	if n <= scanGrain || Procs() == 1 {
+		out := make([]int32, 0, 16)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	nb := blocksOf(n, scanGrain)
+	counts := make([]int64, nb)
+	Blocks(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := blockBounds(b, n, scanGrain)
+			var c int64
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	total := ExclusiveScan(counts, counts)
+	out := make([]int32, total)
+	Blocks(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := blockBounds(b, n, scanGrain)
+			pos := counts[b]
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					out[pos] = int32(i)
+					pos++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Filter returns the elements of src satisfying keep, preserving order.
+func Filter[T any](src []T, keep func(T) bool) []T {
+	idx := PackIndex(len(src), func(i int) bool { return keep(src[i]) })
+	out := make([]T, len(idx))
+	For(len(idx), func(i int) { out[i] = src[idx[i]] })
+	return out
+}
+
+// Map applies fn to every element of src in parallel, into a new slice.
+func Map[S, T any](src []S, fn func(S) T) []T {
+	out := make([]T, len(src))
+	For(len(src), func(i int) { out[i] = fn(src[i]) })
+	return out
+}
+
+// Fill sets every element of dst to v in parallel. Useful for resetting
+// large distance arrays between queries.
+func Fill[T any](dst []T, v T) {
+	Blocks(len(dst), scanGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}

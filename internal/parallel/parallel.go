@@ -1,0 +1,139 @@
+// Package parallel provides the PRAM-style fork-join primitives that the
+// rest of the library is built on: dynamically scheduled parallel loops,
+// reductions, prefix sums, packing, parallel sorting, and the atomic
+// priority-write (WriteMin) used to relax edges concurrently.
+//
+// All primitives degrade gracefully to sequential execution for small
+// inputs or when GOMAXPROCS is 1, so callers never need a separate
+// sequential code path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the default number of loop iterations a worker claims at
+// a time. It is chosen so that per-chunk scheduling overhead (one atomic
+// add) is negligible next to useful work for typical graph kernels.
+const DefaultGrain = 1024
+
+// Procs reports the degree of parallelism primitives will use.
+func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n), in parallel when profitable.
+// Iterations must be independent; fn must not assume any ordering.
+func For(n int, fn func(i int)) {
+	ForGrain(n, DefaultGrain, fn)
+}
+
+// ForGrain is For with an explicit scheduling grain. Use a small grain for
+// expensive, irregular iterations and a large one for cheap uniform loops.
+func ForGrain(n, grain int, fn func(i int)) {
+	Blocks(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Blocks splits [0, n) into contiguous blocks of about grain iterations and
+// calls fn(lo, hi) on each, in parallel. Blocks are handed to workers
+// dynamically (an atomic counter), which load-balances irregular work such
+// as per-vertex loops over skewed degree distributions.
+func Blocks(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Procs()
+	if p == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	numBlocks := (n + grain - 1) / grain
+	workers := p
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= numBlocks {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Workers runs fn once per worker with a distinct worker id in [0, count).
+// Workers claim work themselves via the returned claim function, which
+// hands out indices in [0, n) and reports false when the range is
+// exhausted. This primitive exists for kernels that need worker-local
+// scratch state (for example the per-source restricted Dijkstra in
+// preprocessing), which plain For cannot express.
+func Workers(n int, fn func(worker int, claim func() (int, bool))) {
+	if n <= 0 {
+		return
+	}
+	workers := Procs()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	claim := func() (int, bool) {
+		i := int(next.Add(1)) - 1
+		return i, i < n
+	}
+	if workers == 1 {
+		fn(0, claim)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id, claim)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+// It is the fork-join "parallel composition" primitive.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import "sort"
+
+// sortSeqThreshold is the size below which sorting falls back to the
+// sequential standard-library sort.
+const sortSeqThreshold = 1 << 13
+
+// mergeSeqThreshold is the size below which merging is sequential.
+const mergeSeqThreshold = 1 << 14
+
+// Sort sorts data in place by less, using a parallel merge sort for large
+// inputs. The sort is not stable.
+func Sort[T any](data []T, less func(a, b T) bool) {
+	n := len(data)
+	if n <= sortSeqThreshold || Procs() == 1 {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return
+	}
+	buf := make([]T, n)
+	mergeSortInto(data, buf, less, true)
+}
+
+// mergeSortInto sorts src; when inPlace is true the result ends up in src
+// (buf is scratch), otherwise in buf.
+func mergeSortInto[T any](src, buf []T, less func(a, b T) bool, inPlace bool) {
+	n := len(src)
+	if n <= sortSeqThreshold {
+		sort.Slice(src, func(i, j int) bool { return less(src[i], src[j]) })
+		if !inPlace {
+			copy(buf, src)
+		}
+		return
+	}
+	mid := n / 2
+	Do(
+		func() { mergeSortInto(src[:mid], buf[:mid], less, !inPlace) },
+		func() { mergeSortInto(src[mid:], buf[mid:], less, !inPlace) },
+	)
+	if inPlace {
+		mergeInto(buf[:mid], buf[mid:], src, less)
+	} else {
+		mergeInto(src[:mid], src[mid:], buf, less)
+	}
+}
+
+// mergeInto merges sorted a and b into out (len(out) == len(a)+len(b)),
+// splitting recursively for parallelism on large merges.
+func mergeInto[T any](a, b, out []T, less func(x, y T) bool) {
+	if len(a)+len(b) <= mergeSeqThreshold {
+		mergeSeq(a, b, out, less)
+		return
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// Split the larger run at its midpoint and binary-search the split
+	// point in the smaller run.
+	am := len(a) / 2
+	bm := lowerBound(b, a[am], less)
+	Do(
+		func() { mergeInto(a[:am], b[:bm], out[:am+bm], less) },
+		func() { mergeInto(a[am:], b[bm:], out[am+bm:], less) },
+	)
+}
+
+func mergeSeq[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// lowerBound returns the first index i in sorted s with !less(s[i], v),
+// i.e. the insertion point of v keeping s sorted with v placed before
+// equal elements.
+func lowerBound[T any](s []T, v T, less func(x, y T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(s[mid], v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IsSorted reports whether data is nondecreasing under less.
+func IsSorted[T any](data []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(data); i++ {
+		if less(data[i], data[i-1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package preprocess
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+
+	"radiusstep/internal/graph"
+)
+
+// This file validates the DP heuristic against a brute-force oracle: on
+// random shortest-path trees, the F(u, t) dynamic program must produce a
+// *valid* shortcut set (every tree vertex within k new-hops of the root)
+// of *minimum size* (§4.2.2 claims per-tree optimality).
+
+// randomTreeBall fabricates a ball whose parent structure is a random
+// tree: parent[i] < i, hop derived. Distances are the hop counts.
+func randomTreeBall(n int, r *rand.Rand) *ball {
+	b := &ball{src: 0}
+	b.verts = make([]graph.V, n)
+	b.dist = make([]float64, n)
+	b.hop = make([]int32, n)
+	b.parent = make([]int32, n)
+	b.parent[0] = -1
+	for i := 1; i < n; i++ {
+		b.verts[i] = graph.V(i)
+		p := int32(r.IntN(i))
+		b.parent[i] = p
+		b.hop[i] = b.hop[p] + 1
+		b.dist[i] = float64(b.hop[i])
+	}
+	return b
+}
+
+// chainBall is the worst case for shortcut count: a path of n vertices.
+func chainBall(n int) *ball {
+	b := &ball{src: 0}
+	b.verts = make([]graph.V, n)
+	b.dist = make([]float64, n)
+	b.hop = make([]int32, n)
+	b.parent = make([]int32, n)
+	b.parent[0] = -1
+	for i := 1; i < n; i++ {
+		b.verts[i] = graph.V(i)
+		b.parent[i] = int32(i - 1)
+		b.hop[i] = int32(i)
+		b.dist[i] = float64(i)
+	}
+	return b
+}
+
+// newDepths computes each vertex's hop count from the root when the
+// vertices in targets get a direct shortcut from the root.
+func newDepths(b *ball, targets map[int32]bool) []int32 {
+	n := b.Len()
+	depth := make([]int32, n)
+	for i := 1; i < n; i++ { // parents precede children in index order
+		if targets[int32(i)] {
+			depth[i] = 1
+		} else {
+			depth[i] = depth[b.parent[i]] + 1
+		}
+	}
+	return depth
+}
+
+// validCover reports whether every vertex ends within k hops.
+func validCover(b *ball, targets map[int32]bool, k int) bool {
+	for _, d := range newDepths(b, targets) {
+		if d > int32(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteOptimal finds the minimum number of shortcuts by exhaustive
+// subset enumeration (ball size <= ~16).
+func bruteOptimal(b *ball, k int) int {
+	n := b.Len()
+	best := n
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		sz := bits.OnesCount(uint(mask))
+		if sz >= best {
+			continue
+		}
+		targets := map[int32]bool{}
+		for i := 1; i < n; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				targets[int32(i)] = true
+			}
+		}
+		if validCover(b, targets, k) {
+			best = sz
+		}
+	}
+	return best
+}
+
+func toSet(targets []int32) map[int32]bool {
+	m := make(map[int32]bool, len(targets))
+	for _, t := range targets {
+		m[t] = true
+	}
+	return m
+}
+
+func oracleScratch() *ballScratch {
+	return newBallScratch(graph.FromEdges(1, nil))
+}
+
+func TestDPMatchesBruteForceOnRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	ws := oracleScratch()
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.IntN(12) // up to 13 vertices -> 4096 subsets
+		b := randomTreeBall(n, r)
+		for _, k := range []int{1, 2, 3, 4} {
+			targets := toSet(dpTargets(ws, b, k))
+			if !validCover(b, targets, k) {
+				t.Fatalf("trial %d n=%d k=%d: DP cover invalid", trial, n, k)
+			}
+			want := bruteOptimal(b, k)
+			if len(targets) != want {
+				t.Fatalf("trial %d n=%d k=%d: DP uses %d shortcuts, optimum %d",
+					trial, n, k, len(targets), want)
+			}
+		}
+	}
+}
+
+func TestGreedyIsValidOnRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 12))
+	ws := oracleScratch()
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.IntN(14)
+		b := randomTreeBall(n, r)
+		for _, k := range []int{2, 3, 4} {
+			targets := toSet(greedyTargets(ws, b, k))
+			if !validCover(b, targets, k) {
+				t.Fatalf("trial %d n=%d k=%d: greedy cover invalid", trial, n, k)
+			}
+		}
+	}
+}
+
+func TestDPOnChainExactCount(t *testing.T) {
+	// On a chain of depth d with budget k, the optimum shortcuts every
+	// k-th vertex beyond depth k: ceil((d-k)/k) edges, targeting depths
+	// chosen so each covers k following vertices.
+	ws := oracleScratch()
+	for _, tc := range []struct{ n, k, want int }{
+		{10, 2, 4}, // depths 1..9: optimum covers with shortcuts at 3,5,7,9
+		{10, 3, 2},
+		{10, 9, 0},
+		{10, 8, 1},
+		{4, 1, 2}, // depths 1..3: shortcut 2 and 3
+	} {
+		b := chainBall(tc.n)
+		got := len(dpTargets(ws, b, tc.k))
+		if got != tc.want {
+			t.Fatalf("chain n=%d k=%d: dp=%d, want %d", tc.n, tc.k, got, tc.want)
+		}
+		if brute := bruteOptimal(b, tc.k); brute != tc.want {
+			t.Fatalf("chain n=%d k=%d: oracle=%d, want %d (test self-check)", tc.n, tc.k, brute, tc.want)
+		}
+	}
+}
+
+func TestDPOnBroomOptimal(t *testing.T) {
+	// The paper's §4.2.1 motivating example: a handle of length k then
+	// f leaves. Greedy shortcuts all f leaves; optimal is one shortcut
+	// to the handle's last vertex.
+	k, f := 3, 8
+	n := k + 1 + f
+	b := &ball{src: 0}
+	b.verts = make([]graph.V, n)
+	b.dist = make([]float64, n)
+	b.hop = make([]int32, n)
+	b.parent = make([]int32, n)
+	b.parent[0] = -1
+	for i := 1; i <= k; i++ {
+		b.parent[i] = int32(i - 1)
+		b.hop[i] = int32(i)
+	}
+	for l := 0; l < f; l++ {
+		i := k + 1 + l
+		b.parent[i] = int32(k)
+		b.hop[i] = int32(k + 1)
+	}
+	ws := oracleScratch()
+	dp := dpTargets(ws, b, k)
+	if len(dp) != 1 {
+		t.Fatalf("dp on broom used %d shortcuts, want 1", len(dp))
+	}
+	greedy := greedyTargets(ws, b, k)
+	if len(greedy) != f {
+		t.Fatalf("greedy on broom used %d shortcuts, want %d (all leaves)", len(greedy), f)
+	}
+}

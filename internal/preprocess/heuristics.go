@@ -1,0 +1,126 @@
+package preprocess
+
+// This file implements the shortcut heuristics of §4: given a ball's
+// shortest-path tree, decide which tree vertices receive a direct
+// shortcut edge from the source so that every ball vertex is reachable
+// within k hops along shortest paths.
+
+// heuristicTargets returns the local ball indices that opt's heuristic
+// shortcuts. The returned slice is scratch-owned and valid until the next
+// call on the same scratch.
+func heuristicTargets(ws *ballScratch, b *ball, opt Options) []int32 {
+	switch {
+	case opt.K == 1 || opt.Heuristic == Direct:
+		return directTargets(ws, b)
+	case opt.Heuristic == Greedy:
+		return greedyTargets(ws, b, opt.K)
+	default:
+		return dpTargets(ws, b, opt.K)
+	}
+}
+
+// directTargets implements the (1, ρ) construction (§4.1): a shortcut to
+// every ball vertex except the source.
+func directTargets(ws *ballScratch, b *ball) []int32 {
+	ws.targets = ws.targets[:0]
+	for i := 1; i < b.Len(); i++ {
+		ws.targets = append(ws.targets, int32(i))
+	}
+	return ws.targets
+}
+
+// greedyTargets implements §4.2.1: shortcut every tree vertex whose depth
+// is k+1, 2k+1, 3k+1, … — i.e. depth ≡ 1 (mod k) and depth > k. Every
+// deeper vertex is then within k hops of its nearest shortcut ancestor.
+func greedyTargets(ws *ballScratch, b *ball, k int) []int32 {
+	ws.targets = ws.targets[:0]
+	for i := 1; i < b.Len(); i++ {
+		h := int(b.hop[i])
+		if h > k && (h-1)%k == 0 {
+			ws.targets = append(ws.targets, int32(i))
+		}
+	}
+	return ws.targets
+}
+
+// dpTargets implements §4.2.2: the F(u, t) dynamic program, where F(u, t)
+// is the minimum number of shortcut edges into the subtree rooted at u so
+// that every subtree vertex ends at most k new-hops from the source,
+// given that u's parent sits at t new-hops:
+//
+//	F(u, k) = 1 + Σ_w F(w, 1)                      (must shortcut u)
+//	F(u, t) = min(1 + Σ_w F(w, 1), Σ_w F(w, t+1))  for t < k
+//
+// with w ranging over u's tree children. The answer is Σ F(u, 0) over the
+// source's children. A second top-down pass traces which vertices the
+// optimum shortcuts. Both passes are O(k·|ball|).
+func dpTargets(ws *ballScratch, b *ball, k int) []int32 {
+	n := b.Len()
+	ws.targets = ws.targets[:0]
+	if n <= 1 {
+		return ws.targets
+	}
+	stride := k + 1
+	ws.childHead = resize(ws.childHead, n)
+	ws.childNext = resize(ws.childNext, n)
+	ws.sumF1 = resize(ws.sumF1, n)
+	ws.ftab = resize(ws.ftab, n*stride)
+	for i := 0; i < n; i++ {
+		ws.childHead[i] = -1
+	}
+	// Children lists; parents settle before children, so local indices
+	// increase down the tree.
+	for i := 1; i < n; i++ {
+		p := b.parent[i]
+		ws.childNext[i] = ws.childHead[p]
+		ws.childHead[p] = int32(i)
+	}
+	// Bottom-up pass in reverse settle order (a valid post-order).
+	for i := n - 1; i >= 1; i-- {
+		var sumF1 int32
+		for c := ws.childHead[i]; c != -1; c = ws.childNext[c] {
+			sumF1 += ws.ftab[int(c)*stride+1]
+		}
+		ws.sumF1[i] = sumF1
+		ws.ftab[i*stride+k] = 1 + sumF1
+		for t := 0; t < k; t++ {
+			var sumT int32
+			for c := ws.childHead[i]; c != -1; c = ws.childNext[c] {
+				sumT += ws.ftab[int(c)*stride+t+1]
+			}
+			best := 1 + sumF1
+			if sumT < best {
+				best = sumT
+			}
+			ws.ftab[i*stride+t] = best
+		}
+	}
+	// Top-down trace: at (u, t), shortcut iff forced (t == k) or the
+	// shortcut branch attains the minimum.
+	ws.stack = ws.stack[:0]
+	for c := ws.childHead[0]; c != -1; c = ws.childNext[c] {
+		ws.stack = append(ws.stack, dpFrame{c, 0})
+	}
+	for len(ws.stack) > 0 {
+		f := ws.stack[len(ws.stack)-1]
+		ws.stack = ws.stack[:len(ws.stack)-1]
+		u, t := int(f.node), int(f.t)
+		shortcut := t == k || ws.ftab[u*stride+t] == 1+ws.sumF1[u]
+		childT := int32(t + 1)
+		if shortcut {
+			ws.targets = append(ws.targets, f.node)
+			childT = 1
+		}
+		for c := ws.childHead[u]; c != -1; c = ws.childNext[c] {
+			ws.stack = append(ws.stack, dpFrame{c, childT})
+		}
+	}
+	return ws.targets
+}
+
+func resize(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,341 @@
+package preprocess
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// sortedAdj holds, for every vertex, its adjacency sorted by ascending
+// weight (ties by neighbor id). The restricted search (Lemma 4.2) only
+// relaxes the first ρ arcs of each vertex, which requires this order; the
+// sort also enables pruning arcs once the tentative distance would exceed
+// the current ball limit.
+type sortedAdj struct {
+	off []int64
+	adj []graph.V
+	w   []float64
+}
+
+func buildSortedAdj(g *graph.CSR) *sortedAdj {
+	sa := &sortedAdj{
+		off: g.Off,
+		adj: make([]graph.V, len(g.Adj)),
+		w:   make([]float64, len(g.W)),
+	}
+	copy(sa.adj, g.Adj)
+	copy(sa.w, g.W)
+	parallel.ForGrain(g.NumVertices(), 256, func(u int) {
+		lo, hi := sa.off[u], sa.off[u+1]
+		sort.Sort(pairSlice{sa.adj[lo:hi], sa.w[lo:hi]})
+	})
+	return sa
+}
+
+// pairSlice sorts an adjacency slice jointly with its weights.
+type pairSlice struct {
+	adj []graph.V
+	w   []float64
+}
+
+func (p pairSlice) Len() int { return len(p.adj) }
+func (p pairSlice) Less(i, j int) bool {
+	return p.w[i] < p.w[j] || (p.w[i] == p.w[j] && p.adj[i] < p.adj[j])
+}
+func (p pairSlice) Swap(i, j int) {
+	p.adj[i], p.adj[j] = p.adj[j], p.adj[i]
+	p.w[i], p.w[j] = p.w[j], p.w[i]
+}
+
+// ball is one source's restricted shortest-path tree, in settle (pop)
+// order; verts[0] is the source itself. parent holds local indices into
+// verts (-1 for the source) and is hop-minimal among shortest paths,
+// the tie-break §4.2.2 requires.
+type ball struct {
+	src    graph.V
+	verts  []graph.V
+	dist   []float64
+	hop    []int32
+	parent []int32
+	rRho   float64
+}
+
+// Len returns the number of ball vertices including the source.
+func (b *ball) Len() int { return len(b.verts) }
+
+// heapEnt is a lazy-deletion binary-heap entry.
+type heapEnt struct {
+	d float64
+	v graph.V
+}
+
+// ballScratch is per-worker state sized once per graph so the per-source
+// searches allocate nothing. Generation stamps make resets O(ball) rather
+// than O(n).
+type ballScratch struct {
+	g         *graph.CSR
+	gen       uint32
+	visGen    []uint32
+	setGen    []uint32
+	dist      []float64
+	hop       []int32
+	parentLoc []int32
+	local     []int32
+	heap      []heapEnt
+	b         ball
+	scanned   int64 // arcs relaxed for the most recent source
+
+	// frontier buffers for the unit-weight BFS fast path
+	fr, nx []graph.V
+
+	// heuristic scratch, sized to the current ball
+	childHead []int32
+	childNext []int32
+	sumF1     []int32
+	ftab      []int32 // (k+1)-strided DP table
+	targets   []int32
+	stack     []dpFrame
+}
+
+type dpFrame struct {
+	node int32
+	t    int32
+}
+
+func newBallScratch(g *graph.CSR) *ballScratch {
+	n := g.NumVertices()
+	return &ballScratch{
+		g:         g,
+		visGen:    make([]uint32, n),
+		setGen:    make([]uint32, n),
+		dist:      make([]float64, n),
+		hop:       make([]int32, n),
+		parentLoc: make([]int32, n),
+		local:     make([]int32, n),
+	}
+}
+
+func (ws *ballScratch) heapPush(e heapEnt) {
+	ws.heap = append(ws.heap, e)
+	i := len(ws.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if ws.heap[p].d <= e.d {
+			break
+		}
+		ws.heap[i] = ws.heap[p]
+		i = p
+	}
+	ws.heap[i] = e
+}
+
+func (ws *ballScratch) heapPop() heapEnt {
+	top := ws.heap[0]
+	last := len(ws.heap) - 1
+	e := ws.heap[last]
+	ws.heap = ws.heap[:last]
+	if last > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && ws.heap[c+1].d < ws.heap[c].d {
+				c++
+			}
+			if ws.heap[c].d >= e.d {
+				break
+			}
+			ws.heap[i] = ws.heap[c]
+			i = c
+		}
+		ws.heap[i] = e
+	}
+	return top
+}
+
+// explore runs the restricted Dijkstra from src: it relaxes only the ρ
+// lightest arcs of each settled vertex, settles vertices in distance
+// order, records r_ρ(src) as the distance of the ρ-th settled vertex
+// (counting src itself), and continues through distance ties so that
+// every vertex at distance exactly r_ρ is included (the paper's §5.1
+// determinism modification).
+func (ws *ballScratch) explore(sa *sortedAdj, rho int, src graph.V) *ball {
+	ws.gen++
+	gen := ws.gen
+	b := &ws.b
+	b.src = src
+	b.verts = b.verts[:0]
+	b.dist = b.dist[:0]
+	b.hop = b.hop[:0]
+	b.parent = b.parent[:0]
+	ws.heap = ws.heap[:0]
+	ws.scanned = 0
+
+	ws.visGen[src] = gen
+	ws.dist[src] = 0
+	ws.hop[src] = 0
+	ws.parentLoc[src] = -1
+	ws.heapPush(heapEnt{0, src})
+
+	rLimit := math.Inf(1)
+	for len(ws.heap) > 0 {
+		e := ws.heapPop()
+		if ws.setGen[e.v] == gen || e.d != ws.dist[e.v] {
+			continue // stale entry
+		}
+		if len(b.verts) >= rho && e.d > rLimit {
+			break
+		}
+		ws.setGen[e.v] = gen
+		ws.local[e.v] = int32(len(b.verts))
+		b.verts = append(b.verts, e.v)
+		b.dist = append(b.dist, e.d)
+		b.hop = append(b.hop, ws.hop[e.v])
+		b.parent = append(b.parent, ws.parentLoc[e.v])
+		if len(b.verts) == rho {
+			rLimit = e.d
+		}
+		lo, hi := sa.off[e.v], sa.off[e.v+1]
+		if hi-lo > int64(rho) {
+			hi = lo + int64(rho) // the ρ lightest arcs suffice (Lemma 4.2)
+		}
+		for i := lo; i < hi; i++ {
+			nd := e.d + sa.w[i]
+			if nd > rLimit {
+				break // arcs are weight-sorted: the rest only get heavier
+			}
+			ws.scanned++
+			v := sa.adj[i]
+			switch {
+			case ws.visGen[v] != gen || nd < ws.dist[v]:
+				ws.visGen[v] = gen
+				ws.dist[v] = nd
+				ws.hop[v] = ws.hop[e.v] + 1
+				ws.parentLoc[v] = ws.local[e.v]
+				ws.heapPush(heapEnt{nd, v})
+			case nd == ws.dist[v] && ws.setGen[v] != gen && ws.hop[e.v]+1 < ws.hop[v]:
+				// Equal distance, fewer hops: keep the hop-minimal
+				// shortest-path tree the DP heuristic requires.
+				ws.hop[v] = ws.hop[e.v] + 1
+				ws.parentLoc[v] = ws.local[e.v]
+			}
+		}
+	}
+	switch {
+	case len(b.verts) >= rho:
+		b.rRho = b.dist[rho-1]
+	case len(b.verts) > 0:
+		b.rRho = b.dist[len(b.verts)-1]
+	default:
+		b.rRho = 0
+	}
+	return b
+}
+
+// exploreUnit is explore specialized to unit-weight graphs (§4.1's BFS
+// variant): a level-synchronous bounded BFS replaces the heap, visiting
+// whole levels until at least ρ vertices are settled — which implements
+// the tie-continuation rule exactly, since every vertex at distance
+// r_ρ is in the final level. It produces the same radii and ball sizes
+// as explore (the shortest-path tree may differ among equally hop-
+// minimal choices). Each vertex still relaxes only its ρ lexically
+// first arcs, mirroring the weighted restriction.
+func (ws *ballScratch) exploreUnit(sa *sortedAdj, rho int, src graph.V) *ball {
+	ws.gen++
+	gen := ws.gen
+	b := &ws.b
+	b.src = src
+	b.verts = b.verts[:0]
+	b.dist = b.dist[:0]
+	b.hop = b.hop[:0]
+	b.parent = b.parent[:0]
+	ws.scanned = 0
+
+	settle := func(v graph.V, level int32, parentLoc int32) {
+		ws.setGen[v] = gen
+		ws.local[v] = int32(len(b.verts))
+		b.verts = append(b.verts, v)
+		b.dist = append(b.dist, float64(level))
+		b.hop = append(b.hop, level)
+		b.parent = append(b.parent, parentLoc)
+	}
+	ws.visGen[src] = gen
+	settle(src, 0, -1)
+	ws.fr = append(ws.fr[:0], src)
+	level := int32(0)
+	for len(ws.fr) > 0 && b.Len() < rho {
+		level++
+		ws.nx = ws.nx[:0]
+		for _, u := range ws.fr {
+			lo, hi := sa.off[u], sa.off[u+1]
+			if hi-lo > int64(rho) {
+				hi = lo + int64(rho)
+			}
+			parentLoc := ws.local[u]
+			for i := lo; i < hi; i++ {
+				ws.scanned++
+				v := sa.adj[i]
+				if ws.visGen[v] == gen {
+					continue
+				}
+				ws.visGen[v] = gen
+				settle(v, level, parentLoc)
+				ws.nx = append(ws.nx, v)
+			}
+		}
+		ws.fr, ws.nx = ws.nx, ws.fr
+	}
+	switch {
+	case b.Len() >= rho:
+		b.rRho = b.dist[rho-1]
+	case b.Len() > 0:
+		b.rRho = b.dist[b.Len()-1]
+	default:
+		b.rRho = 0
+	}
+	return b
+}
+
+// ballStats aggregates work counters over a full pass.
+type ballStats struct {
+	visited int64
+	scanned int64
+}
+
+// forEachBall computes the ρ-ball of every vertex in parallel and calls
+// process(worker, scratch, ball) for each. process runs concurrently
+// across workers but each worker is sequential; the scratch and ball are
+// reused and only valid during the call.
+func forEachBall(g *graph.CSR, rho int, process func(worker int, ws *ballScratch, b *ball)) ballStats {
+	sa := buildSortedAdj(g)
+	n := g.NumVertices()
+	unit := g.IsUnit()
+	var visited, scanned atomic.Int64
+	parallel.Workers(n, func(worker int, claim func() (int, bool)) {
+		ws := newBallScratch(g)
+		var vis, sc int64
+		for {
+			s, ok := claim()
+			if !ok {
+				break
+			}
+			var b *ball
+			if unit {
+				b = ws.exploreUnit(sa, rho, graph.V(s))
+			} else {
+				b = ws.explore(sa, rho, graph.V(s))
+			}
+			vis += int64(b.Len())
+			sc += ws.scanned
+			process(worker, ws, b)
+		}
+		visited.Add(vis)
+		scanned.Add(sc)
+	})
+	return ballStats{visited: visited.Load(), scanned: scanned.Load()}
+}

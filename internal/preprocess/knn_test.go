@@ -1,0 +1,135 @@
+package preprocess
+
+import (
+	"testing"
+
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+)
+
+// TestUnitFastPathMatchesHeapPath compares the BFS fast path against the
+// general heap search on unit graphs: radii and ball sizes must match
+// exactly for every source and ρ (trees may differ among equally valid
+// hop-minimal choices).
+func TestUnitFastPathMatchesHeapPath(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"grid":      gen.Grid2D(15, 15),
+		"scalefree": gen.ScaleFree(300, 4, 1),
+		"chain":     gen.Chain(60),
+		"star":      gen.Star(25),
+		"comb":      gen.Comb(5),
+	}
+	for name, g := range graphs {
+		sa := buildSortedAdj(g)
+		heapWS := newBallScratch(g)
+		bfsWS := newBallScratch(g)
+		for _, rho := range []int{1, 2, 7, 25} {
+			for v := 0; v < g.NumVertices(); v += 3 {
+				hb := heapWS.explore(sa, rho, graph.V(v))
+				hLen, hR := hb.Len(), hb.rRho
+				bb := bfsWS.exploreUnit(sa, rho, graph.V(v))
+				if bb.Len() != hLen {
+					t.Fatalf("%s rho=%d src=%d: ball size %d (bfs) vs %d (heap)",
+						name, rho, v, bb.Len(), hLen)
+				}
+				if bb.rRho != hR {
+					t.Fatalf("%s rho=%d src=%d: rRho %v (bfs) vs %v (heap)",
+						name, rho, v, bb.rRho, hR)
+				}
+			}
+		}
+	}
+}
+
+// TestUnitFastPathTreeIsValid checks the BFS ball's tree invariants:
+// parents settle before children, hops increase by one along edges,
+// and distances equal hops.
+func TestUnitFastPathTreeIsValid(t *testing.T) {
+	g := gen.ScaleFree(500, 3, 2)
+	sa := buildSortedAdj(g)
+	ws := newBallScratch(g)
+	for _, src := range []graph.V{0, 17, 255} {
+		b := ws.exploreUnit(sa, 40, src)
+		if b.verts[0] != src || b.hop[0] != 0 || b.parent[0] != -1 {
+			t.Fatalf("src=%d: root record wrong", src)
+		}
+		for i := 1; i < b.Len(); i++ {
+			p := b.parent[i]
+			if p < 0 || p >= int32(i) {
+				t.Fatalf("src=%d: parent[%d] = %d out of order", src, i, p)
+			}
+			if b.hop[i] != b.hop[p]+1 {
+				t.Fatalf("src=%d: hop[%d] = %d, parent hop %d", src, i, b.hop[i], b.hop[p])
+			}
+			if b.dist[i] != float64(b.hop[i]) {
+				t.Fatalf("src=%d: dist != hop at %d", src, i)
+			}
+			if !graph.HasEdge(g, b.verts[p], b.verts[i]) {
+				t.Fatalf("src=%d: tree edge %d-%d not in graph", src, b.verts[p], b.verts[i])
+			}
+		}
+	}
+}
+
+// TestUnitFastPathTieContinuation: the ball continues past exactly ρ
+// vertices through distance ties — every *discovered* vertex at distance
+// r_ρ is settled. (Discovery itself is capped at the ρ lightest arcs per
+// vertex, Lemma 4.2, so undiscoverable boundary ties are excluded; the
+// strict-ball property tests cover why that is sound.)
+func TestUnitFastPathTieContinuation(t *testing.T) {
+	g := gen.Star(20) // center 0, 19 leaves at distance 1
+	sa := buildSortedAdj(g)
+	ws := newBallScratch(g)
+	// rho=5: the center relaxes its 5 lightest arcs; the 5-ball needs
+	// only 4 leaves but the discovered 5th leaf ties at distance 1 and
+	// must be settled too.
+	b := ws.exploreUnit(sa, 5, 0)
+	if b.Len() != 6 {
+		t.Fatalf("star center ball = %d, want 6 (5 discovered leaves + center)", b.Len())
+	}
+	if b.rRho != 1 {
+		t.Fatalf("rRho = %v, want 1", b.rRho)
+	}
+	// The heap path agrees.
+	hb := newBallScratch(g).explore(sa, 5, 0)
+	if hb.Len() != 6 || hb.rRho != 1 {
+		t.Fatalf("heap path: len=%d rRho=%v", hb.Len(), hb.rRho)
+	}
+	// The restriction itself: at rho=3 only 3 arcs are relaxed, so the
+	// ball is center + 3 leaves even though 19 tie at distance 1.
+	b3 := ws.exploreUnit(sa, 3, 0)
+	if b3.Len() != 4 {
+		t.Fatalf("restricted ball = %d, want 4", b3.Len())
+	}
+}
+
+// TestScannedCountsBounded: the restriction to ρ lightest arcs caps the
+// per-source scan at ρ·|ball|.
+func TestScannedCountsBounded(t *testing.T) {
+	g := gen.ScaleFree(400, 6, 3)
+	sa := buildSortedAdj(g)
+	ws := newBallScratch(g)
+	rho := 10
+	for v := 0; v < 50; v++ {
+		b := ws.exploreUnit(sa, rho, graph.V(v))
+		if ws.scanned > int64(rho*b.Len()) {
+			t.Fatalf("src=%d scanned %d > rho*|ball| = %d", v, ws.scanned, rho*b.Len())
+		}
+	}
+}
+
+func TestSortedAdjOrder(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.Add(0, 1, 5)
+	b.Add(0, 2, 1)
+	b.Add(0, 3, 5)
+	g := b.Build()
+	sa := buildSortedAdj(g)
+	lo := sa.off[0]
+	if sa.adj[lo] != 2 { // lightest first
+		t.Fatalf("first sorted arc = %d, want 2", sa.adj[lo])
+	}
+	if sa.adj[lo+1] != 1 || sa.adj[lo+2] != 3 { // weight ties by id
+		t.Fatalf("tie order wrong: %v", sa.adj[lo:lo+3])
+	}
+}

@@ -1,0 +1,197 @@
+// Package preprocess implements the paper's §4: converting an arbitrary
+// undirected graph into a (k, ρ)-graph by adding shortcut edges, and
+// producing the per-vertex radii r(v) = r_ρ(v) that Radius-Stepping
+// consumes.
+//
+// The engine is a parallel "restricted Dijkstra": from every vertex, a
+// bounded search over only the ρ lightest edges per vertex discovers the
+// ρ-nearest ball (Lemma 4.2), continuing through distance ties as in the
+// paper's experimental setup (§5.1). On each ball's shortest-path tree the
+// package can apply direct (1, ρ) shortcutting, the greedy level heuristic
+// (§4.2.1), or the dynamic-programming heuristic (§4.2.2).
+package preprocess
+
+import (
+	"fmt"
+
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// Heuristic selects the shortcut construction for k > 1.
+type Heuristic int
+
+const (
+	// Direct adds an edge from the source to every ball vertex: the
+	// (1, ρ) construction. It ignores k.
+	Direct Heuristic = iota
+	// Greedy shortcuts every tree vertex at depth k+1, 2k+1, … (§4.2.1).
+	Greedy
+	// DP solves the F(u, t) recurrence for the per-tree optimal shortcut
+	// set (§4.2.2).
+	DP
+)
+
+// String returns the heuristic name.
+func (h Heuristic) String() string {
+	switch h {
+	case Direct:
+		return "direct"
+	case Greedy:
+		return "greedy"
+	case DP:
+		return "dp"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Options configures preprocessing.
+type Options struct {
+	// Rho is the ball size ρ (must be >= 1). r_ρ(v) is the distance to
+	// the ρ-th closest vertex, counting v itself.
+	Rho int
+	// K is the hop budget k (>= 1). With K == 1 the heuristic is forced
+	// to Direct.
+	K int
+	// Heuristic picks the shortcut scheme for K > 1.
+	Heuristic Heuristic
+}
+
+func (o Options) validate(n int) error {
+	if o.Rho < 1 {
+		return fmt.Errorf("preprocess: Rho must be >= 1, got %d", o.Rho)
+	}
+	if o.K < 1 {
+		return fmt.Errorf("preprocess: K must be >= 1, got %d", o.K)
+	}
+	if n == 0 {
+		return fmt.Errorf("preprocess: empty graph")
+	}
+	return nil
+}
+
+// Result is the output of Run.
+type Result struct {
+	// G is the augmented (k, ρ)-graph: the input plus shortcut edges,
+	// deduplicated keeping minimum weights. Shortcut weights equal exact
+	// shortest-path distances, so the metric of G equals the input's.
+	G *graph.CSR
+	// Radii holds r_ρ(v) for every vertex (on the original metric,
+	// which the augmentation preserves).
+	Radii []float64
+	// Added counts shortcut edges emitted by the heuristic, summed per
+	// source before symmetric deduplication — the paper's "number of
+	// added edges" accounting (a source-to-target shortcut is counted
+	// once; shortcuts to existing direct neighbors are not counted).
+	Added int64
+	// Visited is the total number of ball vertices visited across all
+	// sources, a proxy for preprocessing work (Θ(nρ) to Θ(nρ²)).
+	Visited int64
+	// EdgesScanned counts arcs relaxed during the restricted searches.
+	EdgesScanned int64
+}
+
+// Run preprocesses g per opt: it computes every vertex's ρ-ball, derives
+// radii, applies the shortcut heuristic, and materializes the augmented
+// graph.
+func Run(g *graph.CSR, opt Options) (*Result, error) {
+	if err := opt.validate(g.NumVertices()); err != nil {
+		return nil, err
+	}
+	if opt.K == 1 {
+		opt.Heuristic = Direct
+	}
+	res := &Result{Radii: make([]float64, g.NumVertices())}
+	p := parallel.Procs()
+	parts := make([][]graph.Edge, p)
+	added := make([]int64, p)
+	stats := forEachBall(g, opt.Rho, func(worker int, ws *ballScratch, b *ball) {
+		res.Radii[b.src] = b.rRho
+		for _, li := range heuristicTargets(ws, b, opt) {
+			target := b.verts[li]
+			e := graph.Edge{U: b.src, V: target, W: b.dist[li]}
+			// Always materialize (the builder keeps minimum weights, so
+			// an existing heavier direct edge is lowered to the true
+			// distance), but count as "added" only genuinely new edges,
+			// matching the paper's accounting.
+			parts[worker] = append(parts[worker], e)
+			if !graph.HasEdge(ws.g, b.src, target) {
+				added[worker]++
+			}
+		}
+	})
+	res.Visited = stats.visited
+	res.EdgesScanned = stats.scanned
+	var extra []graph.Edge
+	for w, part := range parts {
+		res.Added += added[w]
+		extra = append(extra, part...)
+	}
+	res.G = graph.AddShortcuts(g, extra)
+	return res, nil
+}
+
+// RadiiOnly computes r_ρ(v) for every vertex without materializing any
+// shortcut edges. Used by experiments that only need radii (for example
+// step counting at large ρ where the (1, ρ) graph would be dense).
+func RadiiOnly(g *graph.CSR, rho int) ([]float64, error) {
+	if rho < 1 {
+		return nil, fmt.Errorf("preprocess: Rho must be >= 1, got %d", rho)
+	}
+	radii := make([]float64, g.NumVertices())
+	_ = forEachBall(g, rho, func(_ int, _ *ballScratch, b *ball) {
+		radii[b.src] = b.rRho
+	})
+	return radii, nil
+}
+
+// CountSweep evaluates, in a single ρ-ball pass, how many shortcut edges
+// the greedy and DP heuristics would emit for each k in ks (raw heuristic
+// decisions, before deduplication against existing edges — the accounting
+// under which DP is per-tree optimal and hence never exceeds greedy, as
+// in the paper's Tables 2–3). It returns two parallel slices indexed like
+// ks. The ball computation dominates and is shared across all k values.
+func CountSweep(g *graph.CSR, rho int, ks []int) (greedy, dp []int64, err error) {
+	if rho < 1 {
+		return nil, nil, fmt.Errorf("preprocess: Rho must be >= 1, got %d", rho)
+	}
+	for _, k := range ks {
+		if k < 1 {
+			return nil, nil, fmt.Errorf("preprocess: k must be >= 1, got %d", k)
+		}
+	}
+	p := parallel.Procs()
+	gParts := make([][]int64, p)
+	dParts := make([][]int64, p)
+	_ = forEachBall(g, rho, func(worker int, ws *ballScratch, b *ball) {
+		if gParts[worker] == nil {
+			gParts[worker] = make([]int64, len(ks))
+			dParts[worker] = make([]int64, len(ks))
+		}
+		for i, k := range ks {
+			opt := Options{Rho: rho, K: k, Heuristic: Greedy}
+			if k == 1 {
+				opt.Heuristic = Direct
+			}
+			gParts[worker][i] += int64(len(heuristicTargets(ws, b, opt)))
+			opt.Heuristic = DP
+			if k == 1 {
+				opt.Heuristic = Direct
+			}
+			dParts[worker][i] += int64(len(heuristicTargets(ws, b, opt)))
+		}
+	})
+	greedy = make([]int64, len(ks))
+	dp = make([]int64, len(ks))
+	for w := 0; w < p; w++ {
+		if gParts[w] == nil {
+			continue
+		}
+		for i := range ks {
+			greedy[i] += gParts[w][i]
+			dp[i] += dParts[w][i]
+		}
+	}
+	return greedy, dp, nil
+}

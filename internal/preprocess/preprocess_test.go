@@ -1,0 +1,407 @@
+package preprocess
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/check"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+)
+
+// bruteRadius computes r_ρ(v) from full Dijkstra distances: the ρ-th
+// smallest distance from v (counting v itself).
+func bruteRadius(g *graph.CSR, v graph.V, rho int) float64 {
+	dist := baseline.Dijkstra(g, v)
+	ds := append([]float64(nil), dist...)
+	sort.Float64s(ds)
+	// Unreachable vertices sort to the end as +Inf.
+	i := rho - 1
+	if i >= len(ds) {
+		i = len(ds) - 1
+	}
+	for i >= 0 && math.IsInf(ds[i], 1) {
+		i--
+	}
+	if i < 0 {
+		return 0
+	}
+	return ds[i]
+}
+
+func TestRadiiMatchBruteForce(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"grid":      gen.WithUniformIntWeights(gen.Grid2D(12, 12), 1, 20, 1),
+		"unitGrid":  gen.Grid2D(12, 12),
+		"scalefree": gen.ScaleFree(150, 4, 2),
+		"random":    gen.WithUniformIntWeights(gen.RandomConnected(120, 300, 3), 1, 9, 4),
+	}
+	for name, g := range graphs {
+		for _, rho := range []int{1, 2, 5, 17} {
+			radii, err := RadiiOnly(g, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.NumVertices(); v += 13 {
+				want := bruteRadius(g, graph.V(v), rho)
+				if radii[v] != want {
+					t.Fatalf("%s rho=%d: r(%d) = %v, want %v", name, rho, v, radii[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestRadiiRhoOneIsZero(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	radii, err := RadiiOnly(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range radii {
+		if r != 0 {
+			t.Fatalf("r_1(%d) = %v, want 0 (the vertex itself)", v, r)
+		}
+	}
+}
+
+func TestRunPreservesMetric(t *testing.T) {
+	// Shortcut edges carry exact distances, so shortest paths must not
+	// change — on any graph, any heuristic, any (k, ρ).
+	g := gen.WithUniformIntWeights(gen.RandomConnected(200, 500, 5), 1, 40, 6)
+	want := baseline.Dijkstra(g, 3)
+	for _, opt := range []Options{
+		{Rho: 8, K: 1},
+		{Rho: 8, K: 3, Heuristic: Greedy},
+		{Rho: 8, K: 3, Heuristic: DP},
+		{Rho: 20, K: 2, Heuristic: DP},
+	} {
+		res, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := baseline.Dijkstra(res.G, 3)
+		if i := check.SameDistances(want, got, 1e-9); i >= 0 {
+			t.Fatalf("%+v: metric changed at %d: %v vs %v", opt, i, want[i], got[i])
+		}
+		if err := graph.Validate(res.G); err != nil {
+			t.Fatalf("%+v: augmented graph invalid: %v", opt, err)
+		}
+	}
+}
+
+// hopWithin checks every ball vertex of src is within k hops of src in
+// aug along *shortest* weighted paths: BFS over the tight-edge DAG.
+func hopWithin(aug *graph.CSR, src graph.V, ballDist map[graph.V]float64, k int) bool {
+	dist := baseline.Dijkstra(aug, src)
+	// hops[v]: fewest edges over shortest paths from src.
+	n := aug.NumVertices()
+	const inf = int32(1 << 30)
+	hops := make([]int32, n)
+	for i := range hops {
+		hops[i] = inf
+	}
+	hops[src] = 0
+	// Relax in distance order (sort vertices by dist).
+	order := make([]graph.V, 0, n)
+	for v := 0; v < n; v++ {
+		if !math.IsInf(dist[v], 1) {
+			order = append(order, graph.V(v))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	for _, u := range order {
+		adj, ws := aug.Neighbors(u)
+		for i, v := range adj {
+			if dist[u]+ws[i] == dist[v] && hops[u]+1 < hops[v] {
+				hops[v] = hops[u] + 1
+			}
+		}
+	}
+	for v := range ballDist {
+		if hops[v] > int32(k) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKRhoPropertyAfterPreprocessing(t *testing.T) {
+	// After Run, every vertex's *strict* ρ-ball (d < r(v)) must be
+	// reachable within k hops along shortest paths. This is the
+	// property Lemma 3.4 actually consumes: vertices at distance
+	// exactly r(v) may legitimately sit beyond k hops (the restricted
+	// search can only miss boundary ties, never interior vertices).
+	graphs := map[string]*graph.CSR{
+		"grid":      gen.WithUniformIntWeights(gen.Grid2D(10, 10), 1, 30, 7),
+		"scalefree": gen.ScaleFree(120, 3, 8),
+	}
+	for name, g := range graphs {
+		for _, opt := range []Options{
+			{Rho: 6, K: 1},
+			{Rho: 6, K: 2, Heuristic: Greedy},
+			{Rho: 6, K: 2, Heuristic: DP},
+			{Rho: 10, K: 3, Heuristic: Greedy},
+			{Rho: 10, K: 3, Heuristic: DP},
+		} {
+			res, err := Run(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.NumVertices(); v += 7 {
+				src := graph.V(v)
+				full := baseline.Dijkstra(g, src)
+				ball := map[graph.V]float64{}
+				for u, d := range full {
+					if d < res.Radii[src] {
+						ball[graph.V(u)] = d
+					}
+				}
+				if !hopWithin(res.G, src, ball, opt.K) {
+					t.Fatalf("%s %+v: strict ball of %d not within %d hops", name, opt, v, opt.K)
+				}
+			}
+		}
+	}
+}
+
+func TestDPNeverWorseThanGreedy(t *testing.T) {
+	// DP is optimal per tree, so its total count can never exceed
+	// greedy's on the same trees.
+	graphs := []*graph.CSR{
+		gen.WithUniformIntWeights(gen.Grid2D(20, 20), 1, 50, 9),
+		gen.ScaleFree(400, 4, 10),
+		gen.WithUniformIntWeights(gen.RandomConnected(300, 700, 11), 1, 25, 12),
+	}
+	for gi, g := range graphs {
+		for _, rho := range []int{5, 12, 30} {
+			greedy, dp, err := CountSweep(g, rho, []int{2, 3, 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range greedy {
+				if dp[i] > greedy[i] {
+					t.Fatalf("graph %d rho=%d k-idx %d: dp=%d > greedy=%d", gi, rho, i, dp[i], greedy[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCountSweepMonotoneInK(t *testing.T) {
+	// Larger k can only reduce the number of needed shortcuts (both
+	// heuristics shortcut strictly less when allowed more hops).
+	g := gen.WithUniformIntWeights(gen.Grid2D(25, 25), 1, 60, 13)
+	greedy, dp, err := CountSweep(g, 20, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dp); i++ {
+		if dp[i] > dp[i-1] {
+			t.Fatalf("dp not monotone in k: %v", dp)
+		}
+	}
+	// k=1 column equals the Direct count for both.
+	if greedy[0] != dp[0] {
+		t.Fatalf("k=1 columns differ: greedy=%d dp=%d", greedy[0], dp[0])
+	}
+}
+
+func TestDirectCountsOnStar(t *testing.T) {
+	// On a star with ρ=n every leaf's ball is the whole graph. Leaves
+	// are adjacent only to the center, so direct shortcutting adds
+	// (n-2) edges per leaf and 0 for the center.
+	n := 12
+	g := gen.Star(n)
+	res, err := Run(g, Options{Rho: n, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((n - 1) * (n - 2))
+	if res.Added != want {
+		t.Fatalf("Added = %d, want %d", res.Added, want)
+	}
+	// The result must be the complete graph.
+	if res.G.NumEdges() != n*(n-1)/2 {
+		t.Fatalf("augmented edges = %d, want %d", res.G.NumEdges(), n*(n-1)/2)
+	}
+}
+
+func TestGreedyTargetsDepthRule(t *testing.T) {
+	// On a chain from vertex 0, hop depth == index; greedy with k must
+	// pick depths k+1, 2k+1, ... among the ball.
+	g := gen.Chain(30)
+	res, err := Run(g, Options{Rho: 12, K: 3, Heuristic: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0's ball is vertices 0..11 (r_12 = 11); greedy shortcuts
+	// depths 4, 7, 10.
+	for _, want := range []graph.V{4, 7, 10} {
+		if !graph.HasEdge(res.G, 0, want) {
+			t.Fatalf("missing greedy shortcut 0->%d", want)
+		}
+	}
+	if graph.HasEdge(res.G, 0, 2) || graph.HasEdge(res.G, 0, 3) {
+		t.Fatal("greedy shortcut at wrong depth")
+	}
+}
+
+func TestDPOnChainIsSparse(t *testing.T) {
+	// On a chain ball of depth d with hop budget k, DP needs exactly
+	// ceil((d-k)/k) shortcuts... at most greedy's count, and for a chain
+	// they coincide; sanity-check the exact count for one case.
+	g := gen.Chain(40)
+	greedy, dp, err := CountSweep(g, 9, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp[0] > greedy[0] {
+		t.Fatalf("dp=%d > greedy=%d on chain", dp[0], greedy[0])
+	}
+	if dp[0] == 0 {
+		t.Fatal("dp found no shortcuts on a deep chain")
+	}
+}
+
+func TestDPBeatsGreedyOnHubGraph(t *testing.T) {
+	// The paper's motivating case (§4.2.1): a chain of length k from the
+	// source, then a broom of leaves at level k+1. Greedy shortcuts every
+	// leaf; DP adds one edge to the broom handle.
+	k := 3
+	leaves := 20
+	b := graph.NewBuilder(k + 1 + leaves)
+	for i := 0; i < k; i++ {
+		b.Add(graph.V(i), graph.V(i+1), 1)
+	}
+	for l := 0; l < leaves; l++ {
+		b.Add(graph.V(k), graph.V(k+1+l), 1)
+	}
+	g := b.Build()
+	rho := k + 1 + leaves
+	greedy, dp, err := CountSweep(g, rho, []int{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp[0] >= greedy[0] {
+		t.Fatalf("expected dp < greedy on broom: dp=%d greedy=%d", dp[0], greedy[0])
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := gen.Chain(5)
+	if _, err := Run(g, Options{Rho: 0, K: 1}); err == nil {
+		t.Fatal("Rho=0 accepted")
+	}
+	if _, err := Run(g, Options{Rho: 2, K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := RadiiOnly(g, 0); err == nil {
+		t.Fatal("RadiiOnly rho=0 accepted")
+	}
+	if _, _, err := CountSweep(g, 0, []int{2}); err == nil {
+		t.Fatal("CountSweep rho=0 accepted")
+	}
+	if _, _, err := CountSweep(g, 2, []int{0}); err == nil {
+		t.Fatal("CountSweep k=0 accepted")
+	}
+}
+
+func TestTieContinuationIncludesAllAtRadius(t *testing.T) {
+	// Star graph, ρ=2: r_2 = 1 and *all* leaves sit at distance 1, so
+	// the ball must include every leaf (§5.1 modification).
+	g := gen.Star(8)
+	res, err := Run(g, Options{Rho: 2, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center's ball covers all leaves; leaf balls include the center at
+	// distance 1 plus all sibling leaves at distance 2? No: r_2(leaf)=1,
+	// ball = {leaf, center} only. Center: r_2 = 1, ball = all.
+	if res.G.NumEdges() != g.NumEdges() {
+		t.Fatalf("star (1,2)-shortcutting should add nothing new, got %d edges", res.G.NumEdges())
+	}
+	if res.Radii[0] != 1 {
+		t.Fatalf("center radius = %v", res.Radii[0])
+	}
+}
+
+func TestRunOnDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.Add(0, 1, 1)
+	b.Add(1, 2, 1)
+	b.Add(3, 4, 1)
+	g := b.Build()
+	res, err := Run(g, Options{Rho: 4, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 5 is isolated: radius 0, no shortcuts.
+	if res.Radii[5] != 0 {
+		t.Fatalf("isolated radius = %v", res.Radii[5])
+	}
+	// Component {3,4} has only 2 vertices; radius is the last reachable.
+	if res.Radii[3] != 1 {
+		t.Fatalf("small component radius = %v", res.Radii[3])
+	}
+}
+
+// TestQuickMetricPreservation is the property-test version of
+// TestRunPreservesMetric over random graphs and options.
+func TestQuickMetricPreservation(t *testing.T) {
+	f := func(seed uint64, rhoRaw, kRaw, hRaw uint8) bool {
+		rho := 1 + int(rhoRaw%20)
+		k := 1 + int(kRaw%4)
+		h := Heuristic(int(hRaw) % 3)
+		g := gen.WithUniformIntWeights(gen.RandomConnected(50, 120, seed), 1, 30, seed^7)
+		res, err := Run(g, Options{Rho: rho, K: k, Heuristic: h})
+		if err != nil {
+			return false
+		}
+		want := baseline.Dijkstra(g, 0)
+		got := baseline.Dijkstra(res.G, 0)
+		return check.SameDistances(want, got, 1e-9) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRadiiMonotoneInRho: r_ρ(v) is nondecreasing in ρ by
+// definition (distance to an ever-farther neighbor).
+func TestQuickRadiiMonotoneInRho(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.WithUniformIntWeights(gen.RandomConnected(80, 200, seed), 1, 30, seed^11)
+		var prev []float64
+		for _, rho := range []int{1, 2, 4, 8, 16, 80} {
+			radii, err := RadiiOnly(g, rho)
+			if err != nil {
+				return false
+			}
+			if prev != nil {
+				for v := range radii {
+					if radii[v] < prev[v] {
+						return false
+					}
+				}
+			}
+			prev = radii
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeuristicString(t *testing.T) {
+	if Direct.String() != "direct" || Greedy.String() != "greedy" || DP.String() != "dp" {
+		t.Fatal("heuristic names wrong")
+	}
+	if Heuristic(9).String() == "" {
+		t.Fatal("unknown heuristic should still print")
+	}
+}

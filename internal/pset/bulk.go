@@ -1,0 +1,158 @@
+package pset
+
+import "radiusstep/internal/parallel"
+
+// bulkParallelThreshold is the subproblem size above which bulk
+// operations fork goroutines.
+const bulkParallelThreshold = 1 << 12
+
+// UnionWith merges other into s (other is consumed and must not be used
+// afterwards). Duplicate keys keep s's copy. Large unions recurse in
+// parallel, matching the paper's O(p log q) set-union substrate.
+func (s *Set[K]) UnionWith(other *Set[K]) {
+	s.root = s.union(s.root, other.root)
+	other.root = nil
+}
+
+func (s *Set[K]) union(a, b *node[K]) *node[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio < b.prio {
+		a, b = b, a
+	}
+	l, _, r := s.split(b, a.key) // drop b's duplicate of a.key, if any
+	if size(a) > bulkParallelThreshold && size(l)+size(r) > bulkParallelThreshold {
+		var nl, nr *node[K]
+		parallel.Do(
+			func() { nl = s.union(a.left, l) },
+			func() { nr = s.union(a.right, r) },
+		)
+		a.left, a.right = nl, nr
+	} else {
+		a.left = s.union(a.left, l)
+		a.right = s.union(a.right, r)
+	}
+	update(a)
+	return a
+}
+
+// DiffWith removes every key of other from s (other is consumed).
+func (s *Set[K]) DiffWith(other *Set[K]) {
+	s.root = s.diff(s.root, other.root)
+	other.root = nil
+}
+
+func (s *Set[K]) diff(a, b *node[K]) *node[K] {
+	if a == nil || b == nil {
+		return a
+	}
+	l, _, r := s.split(a, b.key)
+	var dl, dr *node[K]
+	if size(l)+size(r) > bulkParallelThreshold && size(b) > 64 {
+		parallel.Do(
+			func() { dl = s.diff(l, b.left) },
+			func() { dr = s.diff(r, b.right) },
+		)
+	} else {
+		dl = s.diff(l, b.left)
+		dr = s.diff(r, b.right)
+	}
+	return join2(dl, dr)
+}
+
+// IntersectWith keeps only keys present in both s and other
+// (other is consumed).
+func (s *Set[K]) IntersectWith(other *Set[K]) {
+	s.root = s.intersect(s.root, other.root)
+	other.root = nil
+}
+
+func (s *Set[K]) intersect(a, b *node[K]) *node[K] {
+	if a == nil || b == nil {
+		return nil
+	}
+	l, m, r := s.split(a, b.key)
+	il := s.intersect(l, b.left)
+	ir := s.intersect(r, b.right)
+	if m != nil {
+		return join(il, m, ir)
+	}
+	return join2(il, ir)
+}
+
+// BuildSorted replaces s's contents with the given strictly-increasing
+// keys. It divides at the midpoint and repairs priorities with join, so
+// construction is O(n log n) work with logarithmic span on large inputs.
+func (s *Set[K]) BuildSorted(keys []K) {
+	s.root = s.buildSorted(keys)
+}
+
+// NewSorted builds a set directly from strictly-increasing keys.
+func NewSorted[K any](keys []K, less func(a, b K) bool, hash func(K) uint64) *Set[K] {
+	out := New(less, hash)
+	out.BuildSorted(keys)
+	return out
+}
+
+func (s *Set[K]) buildSorted(keys []K) *node[K] {
+	switch len(keys) {
+	case 0:
+		return nil
+	case 1:
+		return s.newNode(keys[0])
+	}
+	mid := len(keys) / 2
+	var l, r *node[K]
+	if len(keys) > bulkParallelThreshold {
+		parallel.Do(
+			func() { l = s.buildSorted(keys[:mid]) },
+			func() { r = s.buildSorted(keys[mid+1:]) },
+		)
+	} else {
+		l = s.buildSorted(keys[:mid])
+		r = s.buildSorted(keys[mid+1:])
+	}
+	return join(l, s.newNode(keys[mid]), r)
+}
+
+// Check verifies the treap invariants (order by less, heap order by
+// priority, size bookkeeping); it is exported for tests and returns false
+// on the first violation.
+func (s *Set[K]) Check() bool {
+	ok := true
+	var walk func(t *node[K]) (minK, maxK K, has bool)
+	walk = func(t *node[K]) (K, K, bool) {
+		var zero K
+		if t == nil {
+			return zero, zero, false
+		}
+		if t.size != 1+size(t.left)+size(t.right) {
+			ok = false
+		}
+		if prioOf(t.left) > t.prio || prioOf(t.right) > t.prio {
+			ok = false
+		}
+		lmin, lmax, lhas := walk(t.left)
+		rmin, rmax, rhas := walk(t.right)
+		if lhas && !s.less(lmax, t.key) {
+			ok = false
+		}
+		if rhas && !s.less(t.key, rmin) {
+			ok = false
+		}
+		minK, maxK := t.key, t.key
+		if lhas {
+			minK = lmin
+		}
+		if rhas {
+			maxK = rmax
+		}
+		return minK, maxK, true
+	}
+	walk(s.root)
+	return ok
+}

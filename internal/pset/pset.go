@@ -1,0 +1,289 @@
+// Package pset implements the ordered-set substrate of the paper (§2,
+// §3.3): a join-based balanced search tree supporting split, union and
+// difference, used by the radius-stepping engine to maintain the priority
+// sets Q (tentative distances) and R (distance-plus-radius keys).
+//
+// The tree is a treap whose priorities are a deterministic hash of the
+// key, so set shapes are reproducible. All operations are ephemeral
+// (they consume their inputs). Bulk operations (Union, Difference,
+// BuildSorted) fork goroutines on large subproblems, giving the
+// O(p·log q) work and polylog-depth behavior the paper assumes for its
+// ordered-set substrate.
+package pset
+
+// node is a treap node. size is maintained for O(log n) rank queries.
+type node[K any] struct {
+	key         K
+	prio        uint64
+	size        int32
+	left, right *node[K]
+}
+
+func size[K any](t *node[K]) int32 {
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+func update[K any](t *node[K]) {
+	t.size = 1 + size(t.left) + size(t.right)
+}
+
+func prioOf[K any](t *node[K]) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.prio
+}
+
+// Set is an ordered set of unique keys.
+type Set[K any] struct {
+	root *node[K]
+	less func(a, b K) bool
+	hash func(K) uint64
+}
+
+// New creates an empty set ordered by less. hash supplies deterministic
+// treap priorities; it should distribute keys uniformly (use Splitmix64
+// over a key fingerprint).
+func New[K any](less func(a, b K) bool, hash func(K) uint64) *Set[K] {
+	return &Set[K]{less: less, hash: hash}
+}
+
+// Splitmix64 is a strong 64-bit mixing function suitable for hash inputs.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Len returns the number of keys.
+func (s *Set[K]) Len() int { return int(size(s.root)) }
+
+// Empty reports whether the set has no keys.
+func (s *Set[K]) Empty() bool { return s.root == nil }
+
+func (s *Set[K]) newNode(k K) *node[K] {
+	return &node[K]{key: k, prio: s.hash(k), size: 1}
+}
+
+// join combines l, a single middle node m, and r, where all keys in l are
+// less than m.key and all keys in r are greater. It works for arbitrary
+// priorities, repairing the heap order as it descends.
+func join[K any](l, m, r *node[K]) *node[K] {
+	if prioOf(l) <= m.prio && prioOf(r) <= m.prio {
+		m.left, m.right = l, r
+		update(m)
+		return m
+	}
+	if prioOf(l) > prioOf(r) {
+		l.right = join(l.right, m, r)
+		update(l)
+		return l
+	}
+	r.left = join(l, m, r.left)
+	update(r)
+	return r
+}
+
+// join2 combines l and r where every key of l is less than every key of r.
+func join2[K any](l, r *node[K]) *node[K] {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	m, rest := popMax(l)
+	return join(rest, m, r)
+}
+
+// popMax removes and returns the maximum node of t.
+func popMax[K any](t *node[K]) (m, rest *node[K]) {
+	if t.right == nil {
+		rest = t.left
+		t.left = nil
+		t.size = 1
+		return t, rest
+	}
+	m, r := popMax(t.right)
+	t.right = r
+	update(t)
+	return m, t
+}
+
+// popMin removes and returns the minimum node of t.
+func popMin[K any](t *node[K]) (m, rest *node[K]) {
+	if t.left == nil {
+		rest = t.right
+		t.right = nil
+		t.size = 1
+		return t, rest
+	}
+	m, l := popMin(t.left)
+	t.left = l
+	update(t)
+	return m, t
+}
+
+// split divides t by key k into (keys < k, node with key == k or nil,
+// keys > k).
+func (s *Set[K]) split(t *node[K], k K) (l, m, r *node[K]) {
+	if t == nil {
+		return nil, nil, nil
+	}
+	switch {
+	case s.less(t.key, k):
+		var ll *node[K]
+		ll, m, r = s.split(t.right, k)
+		t.right = ll
+		update(t)
+		return t, m, r
+	case s.less(k, t.key):
+		var rr *node[K]
+		l, m, rr = s.split(t.left, k)
+		t.left = rr
+		update(t)
+		return l, m, t
+	default:
+		l, r = t.left, t.right
+		t.left, t.right = nil, nil
+		t.size = 1
+		return l, t, r
+	}
+}
+
+// splitLE divides t into (keys <= k, keys > k).
+func (s *Set[K]) splitLE(t *node[K], k K) (le, gt *node[K]) {
+	if t == nil {
+		return nil, nil
+	}
+	if s.less(k, t.key) { // t.key > k
+		le, l := s.splitLE(t.left, k)
+		t.left = l
+		update(t)
+		return le, t
+	}
+	r, gt := s.splitLE(t.right, k)
+	t.right = r
+	update(t)
+	return t, gt
+}
+
+// Insert adds k, replacing an equal existing key. Reports whether the key
+// was new.
+func (s *Set[K]) Insert(k K) bool {
+	l, m, r := s.split(s.root, k)
+	fresh := m == nil
+	s.root = join(l, s.newNode(k), r)
+	return fresh
+}
+
+// Delete removes k if present and reports whether it was found.
+func (s *Set[K]) Delete(k K) bool {
+	l, m, r := s.split(s.root, k)
+	s.root = join2(l, r)
+	return m != nil
+}
+
+// Has reports whether k is in the set.
+func (s *Set[K]) Has(k K) bool {
+	t := s.root
+	for t != nil {
+		switch {
+		case s.less(k, t.key):
+			t = t.left
+		case s.less(t.key, k):
+			t = t.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Min returns the smallest key; ok is false for an empty set.
+func (s *Set[K]) Min() (k K, ok bool) {
+	t := s.root
+	if t == nil {
+		return k, false
+	}
+	for t.left != nil {
+		t = t.left
+	}
+	return t.key, true
+}
+
+// Max returns the largest key; ok is false for an empty set.
+func (s *Set[K]) Max() (k K, ok bool) {
+	t := s.root
+	if t == nil {
+		return k, false
+	}
+	for t.right != nil {
+		t = t.right
+	}
+	return t.key, true
+}
+
+// PopMin removes and returns the smallest key.
+func (s *Set[K]) PopMin() (k K, ok bool) {
+	if s.root == nil {
+		return k, false
+	}
+	m, rest := popMin(s.root)
+	s.root = rest
+	return m.key, true
+}
+
+// SplitLE removes every key <= k from s and returns them as a new set.
+// This is the frontier-extraction operation of Algorithm 2 (Line 7).
+func (s *Set[K]) SplitLE(k K) *Set[K] {
+	le, gt := s.splitLE(s.root, k)
+	s.root = gt
+	return &Set[K]{root: le, less: s.less, hash: s.hash}
+}
+
+// At returns the key of rank i (0-based, in sorted order).
+func (s *Set[K]) At(i int) (k K, ok bool) {
+	if i < 0 || i >= s.Len() {
+		return k, false
+	}
+	t := s.root
+	for {
+		ls := int(size(t.left))
+		switch {
+		case i < ls:
+			t = t.left
+		case i == ls:
+			return t.key, true
+		default:
+			i -= ls + 1
+			t = t.right
+		}
+	}
+}
+
+// Ascend calls fn on every key in ascending order until fn returns false.
+func (s *Set[K]) Ascend(fn func(K) bool) {
+	ascend(s.root, fn)
+}
+
+func ascend[K any](t *node[K], fn func(K) bool) bool {
+	if t == nil {
+		return true
+	}
+	return ascend(t.left, fn) && fn(t.key) && ascend(t.right, fn)
+}
+
+// Slice returns the keys in ascending order.
+func (s *Set[K]) Slice() []K {
+	out := make([]K, 0, s.Len())
+	s.Ascend(func(k K) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

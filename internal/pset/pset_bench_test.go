@@ -1,0 +1,108 @@
+package pset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSet(n int) *Set[int] {
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i * 2
+	}
+	return NewSorted(keys,
+		func(a, b int) bool { return a < b },
+		func(k int) uint64 { return Splitmix64(uint64(k)) })
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := benchSet(1 << 16)
+	r := rand.New(rand.NewPCG(1, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(r.IntN(1 << 18))
+	}
+}
+
+func BenchmarkHas(b *testing.B) {
+	s := benchSet(1 << 16)
+	r := rand.New(rand.NewPCG(3, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Has(r.IntN(1 << 18))
+	}
+}
+
+func BenchmarkBuildSorted64k(b *testing.B) {
+	keys := make([]int, 1<<16)
+	for i := range keys {
+		keys[i] = i
+	}
+	less := func(a, b int) bool { return a < b }
+	hash := func(k int) uint64 { return Splitmix64(uint64(k)) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSorted(keys, less, hash)
+	}
+}
+
+func BenchmarkUnionInterleaved64k(b *testing.B) {
+	n := 1 << 16
+	less := func(a, b int) bool { return a < b }
+	hash := func(k int) uint64 { return Splitmix64(uint64(k)) }
+	evens := make([]int, n)
+	odds := make([]int, n)
+	for i := 0; i < n; i++ {
+		evens[i] = 2 * i
+		odds[i] = 2*i + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := NewSorted(evens, less, hash)
+		y := NewSorted(odds, less, hash)
+		b.StartTimer()
+		x.UnionWith(y)
+	}
+}
+
+func BenchmarkDiffSmallFromLarge(b *testing.B) {
+	n := 1 << 16
+	less := func(a, b int) bool { return a < b }
+	hash := func(k int) uint64 { return Splitmix64(uint64(k)) }
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	small := make([]int, 512)
+	for i := range small {
+		small[i] = i * 128
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := NewSorted(all, less, hash)
+		y := NewSorted(small, less, hash)
+		b.StartTimer()
+		x.DiffWith(y)
+	}
+}
+
+func BenchmarkSplitLE(b *testing.B) {
+	s := benchSet(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		le := s.SplitLE(1 << 15)
+		s.UnionWith(le) // put it back for the next iteration
+	}
+}
+
+func BenchmarkPopMinPushCycle(b *testing.B) {
+	s := benchSet(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _ := s.PopMin()
+		s.Insert(k + 1<<13)
+	}
+}

@@ -1,0 +1,385 @@
+package pset
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intSet() *Set[int] {
+	return New(
+		func(a, b int) bool { return a < b },
+		func(k int) uint64 { return Splitmix64(uint64(k)) },
+	)
+}
+
+func fromInts(vals ...int) *Set[int] {
+	s := intSet()
+	for _, v := range vals {
+		s.Insert(v)
+	}
+	return s
+}
+
+func sortedUnique(vals []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func assertEqualsModel(t *testing.T, s *Set[int], model []int) {
+	t.Helper()
+	if !s.Check() {
+		t.Fatal("treap invariants violated")
+	}
+	got := s.Slice()
+	if len(got) != len(model) {
+		t.Fatalf("len = %d, want %d (got %v want %v)", len(got), len(model), got, model)
+	}
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("slice[%d] = %d, want %d", i, got[i], model[i])
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(model))
+	}
+}
+
+func TestInsertDeleteBasic(t *testing.T) {
+	s := intSet()
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	if !s.Insert(5) || !s.Insert(3) || !s.Insert(8) {
+		t.Fatal("fresh inserts returned false")
+	}
+	if s.Insert(5) {
+		t.Fatal("duplicate insert returned true")
+	}
+	assertEqualsModel(t, s, []int{3, 5, 8})
+	if !s.Delete(5) {
+		t.Fatal("delete of present key returned false")
+	}
+	if s.Delete(5) {
+		t.Fatal("delete of absent key returned true")
+	}
+	assertEqualsModel(t, s, []int{3, 8})
+}
+
+func TestHasMinMax(t *testing.T) {
+	s := fromInts(4, 1, 9, 7)
+	if !s.Has(7) || s.Has(2) {
+		t.Fatal("Has wrong")
+	}
+	if k, ok := s.Min(); !ok || k != 1 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	if k, ok := s.Max(); !ok || k != 9 {
+		t.Fatalf("Max = %d,%v", k, ok)
+	}
+	empty := intSet()
+	if _, ok := empty.Min(); ok {
+		t.Fatal("Min on empty set")
+	}
+	if _, ok := empty.Max(); ok {
+		t.Fatal("Max on empty set")
+	}
+}
+
+func TestPopMinDrains(t *testing.T) {
+	vals := []int{9, 2, 7, 4, 0, 11}
+	s := fromInts(vals...)
+	want := sortedUnique(vals)
+	for _, w := range want {
+		k, ok := s.PopMin()
+		if !ok || k != w {
+			t.Fatalf("PopMin = %d,%v, want %d", k, ok, w)
+		}
+	}
+	if _, ok := s.PopMin(); ok {
+		t.Fatal("PopMin on drained set")
+	}
+}
+
+func TestAt(t *testing.T) {
+	s := fromInts(10, 20, 30, 40)
+	for i, want := range []int{10, 20, 30, 40} {
+		if k, ok := s.At(i); !ok || k != want {
+			t.Fatalf("At(%d) = %d,%v", i, k, ok)
+		}
+	}
+	if _, ok := s.At(-1); ok {
+		t.Fatal("At(-1) ok")
+	}
+	if _, ok := s.At(4); ok {
+		t.Fatal("At(len) ok")
+	}
+}
+
+func TestSplitLE(t *testing.T) {
+	s := fromInts(1, 3, 5, 7, 9)
+	le := s.SplitLE(5)
+	assertEqualsModel(t, le, []int{1, 3, 5})
+	assertEqualsModel(t, s, []int{7, 9})
+	// Split below everything.
+	le2 := s.SplitLE(0)
+	assertEqualsModel(t, le2, nil)
+	assertEqualsModel(t, s, []int{7, 9})
+	// Split above everything.
+	le3 := s.SplitLE(100)
+	assertEqualsModel(t, le3, []int{7, 9})
+	assertEqualsModel(t, s, nil)
+}
+
+func TestUnionDisjointAndOverlap(t *testing.T) {
+	a := fromInts(1, 3, 5)
+	b := fromInts(2, 4, 6)
+	a.UnionWith(b)
+	assertEqualsModel(t, a, []int{1, 2, 3, 4, 5, 6})
+
+	c := fromInts(1, 2, 3)
+	d := fromInts(2, 3, 4)
+	c.UnionWith(d)
+	assertEqualsModel(t, c, []int{1, 2, 3, 4})
+}
+
+func TestDiff(t *testing.T) {
+	a := fromInts(1, 2, 3, 4, 5)
+	b := fromInts(2, 4, 9)
+	a.DiffWith(b)
+	assertEqualsModel(t, a, []int{1, 3, 5})
+	a.DiffWith(fromInts(1, 3, 5))
+	assertEqualsModel(t, a, nil)
+}
+
+func TestIntersect(t *testing.T) {
+	a := fromInts(1, 2, 3, 4, 5, 6)
+	b := fromInts(2, 4, 6, 8)
+	a.IntersectWith(b)
+	assertEqualsModel(t, a, []int{2, 4, 6})
+}
+
+func TestBuildSorted(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = i * 2
+		}
+		s := NewSorted(keys,
+			func(a, b int) bool { return a < b },
+			func(k int) uint64 { return Splitmix64(uint64(k)) })
+		assertEqualsModel(t, s, keys)
+	}
+}
+
+func TestBuildSortedLargeParallel(t *testing.T) {
+	n := bulkParallelThreshold*4 + 37
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i
+	}
+	s := NewSorted(keys,
+		func(a, b int) bool { return a < b },
+		func(k int) uint64 { return Splitmix64(uint64(k)) })
+	if s.Len() != n || !s.Check() {
+		t.Fatalf("large build: len=%d check=%v", s.Len(), s.Check())
+	}
+	if k, _ := s.Min(); k != 0 {
+		t.Fatalf("min = %d", k)
+	}
+	if k, _ := s.Max(); k != n-1 {
+		t.Fatalf("max = %d", k)
+	}
+}
+
+func TestLargeUnionDiffParallel(t *testing.T) {
+	n := bulkParallelThreshold * 3
+	evens := make([]int, 0, n)
+	odds := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		evens = append(evens, 2*i)
+		odds = append(odds, 2*i+1)
+	}
+	less := func(a, b int) bool { return a < b }
+	hash := func(k int) uint64 { return Splitmix64(uint64(k)) }
+	a := NewSorted(evens, less, hash)
+	b := NewSorted(odds, less, hash)
+	a.UnionWith(b)
+	if a.Len() != 2*n || !a.Check() {
+		t.Fatalf("union len=%d", a.Len())
+	}
+	a.DiffWith(NewSorted(odds, less, hash))
+	if a.Len() != n || !a.Check() {
+		t.Fatalf("diff len=%d", a.Len())
+	}
+	if a.Has(1) || !a.Has(2) {
+		t.Fatal("diff contents wrong")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	s := fromInts(1, 2, 3, 4, 5)
+	var got []int
+	s.Ascend(func(k int) bool {
+		got = append(got, k)
+		return k < 3
+	})
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("early stop got %v", got)
+	}
+}
+
+// TestRandomOpsAgainstModel drives a set with random operations and
+// compares against a sorted-slice model after every operation batch.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 43))
+	s := intSet()
+	model := map[int]bool{}
+	for iter := 0; iter < 3000; iter++ {
+		v := r.IntN(200)
+		switch r.IntN(4) {
+		case 0, 1:
+			fresh := s.Insert(v)
+			if fresh == model[v] {
+				t.Fatalf("iter %d: Insert(%d) fresh=%v but model has=%v", iter, v, fresh, model[v])
+			}
+			model[v] = true
+		case 2:
+			found := s.Delete(v)
+			if found != model[v] {
+				t.Fatalf("iter %d: Delete(%d) found=%v model=%v", iter, v, found, model[v])
+			}
+			delete(model, v)
+		case 3:
+			if s.Has(v) != model[v] {
+				t.Fatalf("iter %d: Has(%d) mismatch", iter, v)
+			}
+		}
+	}
+	var keys []int
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	assertEqualsModel(t, s, keys)
+}
+
+// TestQuickUnion checks the set-union algebra against maps under
+// testing/quick-generated inputs.
+func TestQuickUnion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := intSet()
+		b := intSet()
+		model := map[int]bool{}
+		for _, x := range xs {
+			a.Insert(int(x))
+			model[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Insert(int(y))
+			model[int(y)] = true
+		}
+		a.UnionWith(b)
+		if a.Len() != len(model) || !a.Check() {
+			return false
+		}
+		for k := range model {
+			if !a.Has(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDiff checks difference against the map model.
+func TestQuickDiff(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := intSet()
+		b := intSet()
+		model := map[int]bool{}
+		for _, x := range xs {
+			a.Insert(int(x))
+			model[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Insert(int(y))
+			delete(model, int(y))
+		}
+		a.DiffWith(b)
+		if a.Len() != len(model) || !a.Check() {
+			return false
+		}
+		for k := range model {
+			if !a.Has(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitLE checks that SplitLE partitions exactly at the pivot.
+func TestQuickSplitLE(t *testing.T) {
+	f := func(xs []uint8, pivot uint8) bool {
+		s := intSet()
+		for _, x := range xs {
+			s.Insert(int(x))
+		}
+		total := s.Len()
+		le := s.SplitLE(int(pivot))
+		if le.Len()+s.Len() != total || !le.Check() || !s.Check() {
+			return false
+		}
+		okLE := true
+		le.Ascend(func(k int) bool {
+			if k > int(pivot) {
+				okLE = false
+			}
+			return true
+		})
+		okGT := true
+		s.Ascend(func(k int) bool {
+			if k <= int(pivot) {
+				okGT = false
+			}
+			return true
+		})
+		return okLE && okGT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicShape(t *testing.T) {
+	// Same keys in different insertion orders must produce identical
+	// shapes (priorities are hashed from keys).
+	a := fromInts(1, 2, 3, 4, 5, 6, 7)
+	b := fromInts(7, 3, 5, 1, 6, 2, 4)
+	if !sameShape(a.root, b.root) {
+		t.Fatal("shapes differ across insertion orders")
+	}
+}
+
+func sameShape[K comparable](a, b *node[K]) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.key == b.key && sameShape(a.left, b.left) && sameShape(a.right, b.right)
+}

@@ -1,0 +1,196 @@
+package radiusstep
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"radiusstep/internal/core"
+	"radiusstep/internal/graph"
+)
+
+// Tree computes the shortest-path distances from src together with a
+// deterministic shortest-path tree (parent[src] == src, -1 for
+// unreachable vertices). The tree derivation is one parallel pass over
+// the arcs and is identical for every engine.
+func (s *Solver) Tree(src Vertex) (dist []float64, parent []Vertex, stats Stats, err error) {
+	dist, stats, err = s.Distances(src)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	parent = core.ShortestPathTree(s.pre.Graph, src, dist)
+	return dist, parent, stats, nil
+}
+
+// Distance answers a point-to-point query with early termination: the
+// solve stops as soon as dst is settled (Theorem 3.1 guarantees settled
+// distances are exact), which on large graphs explores only the ball of
+// radius d(src, dst). It returns +Inf when dst is unreachable.
+func (s *Solver) Distance(src, dst Vertex) (float64, Stats, error) {
+	d, _, st, err := core.SolveRefTarget(s.pre.Graph, s.pre.Radii, src, dst)
+	return d, st, err
+}
+
+// Path returns the shortest path src..dst as a vertex sequence and its
+// length, or (nil, +Inf) when unreachable. It runs an early-terminated
+// solve and walks tight edges back from dst. When the preprocessing
+// bundle retains the original graph the walk uses only real (non-
+// shortcut) edges, so the route is directly usable; otherwise shortcut
+// edges (whose weights equal exact distances) may appear.
+func (s *Solver) Path(src, dst Vertex) ([]Vertex, float64, error) {
+	d, dist, _, err := core.SolveRefTarget(s.pre.Graph, s.pre.Radii, src, dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	if math.IsInf(d, 1) {
+		return nil, d, nil
+	}
+	walk := s.pre.Graph
+	if s.pre.Original != nil {
+		walk = s.pre.Original
+	}
+	// Walk back along tight edges of the partial distance vector. All
+	// vertices on a shortest path to dst are settled (their distances
+	// are <= d and exact), and the original graph realizes the same
+	// metric, so a tight predecessor always exists in it.
+	path := []Vertex{dst}
+	cur := dst
+	for cur != src {
+		if len(path) > walk.NumVertices() {
+			// Zero-weight cycles could make the tight-edge walk
+			// oscillate; a simple path never exceeds n vertices.
+			return nil, 0, fmt.Errorf("radiusstep: path reconstruction cycled at %d (zero-weight cycle?)", cur)
+		}
+		adj, ws := walk.Neighbors(cur)
+		next := Vertex(-1)
+		for i, u := range adj {
+			if !math.IsInf(dist[u], 1) && dist[u]+ws[i] == dist[cur] && u != cur {
+				if next == -1 || dist[u] < dist[next] || (dist[u] == dist[next] && u < next) {
+					next = u
+				}
+			}
+		}
+		if next == -1 {
+			return nil, 0, fmt.Errorf("radiusstep: internal: no tight predecessor at %d", cur)
+		}
+		path = append(path, next)
+		cur = next
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, d, nil
+}
+
+// PathTo reconstructs the vertex sequence from a Tree parent array.
+// It returns nil when dst is unreachable.
+func PathTo(parent []Vertex, dst Vertex) []Vertex {
+	return core.PathTo(parent, dst)
+}
+
+// PathLength sums the weights along a vertex path in g, returning an
+// error if two consecutive vertices are not adjacent.
+func PathLength(g *Graph, path []Vertex) (float64, error) {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		w, ok := graph.EdgeWeight(g, path[i-1], path[i])
+		if !ok {
+			return 0, fmt.Errorf("radiusstep: path edge (%d,%d) not in graph", path[i-1], path[i])
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// --- preprocessing persistence -------------------------------------------
+
+// preMagic identifies the preprocessed-bundle format.
+const preMagic = uint64(0x5052455052503031) // "PREPRP01"
+
+// WritePreprocessed persists a preprocessing result (augmented graph,
+// original graph when present, radii, counters) so the Θ(nρ²) phase can
+// be paid once and reloaded across processes.
+func WritePreprocessed(w io.Writer, pre *Preprocessed) error {
+	if pre == nil || pre.Graph == nil || len(pre.Radii) != pre.Graph.NumVertices() {
+		return fmt.Errorf("radiusstep: invalid preprocessed bundle")
+	}
+	bw := bufio.NewWriter(w)
+	hasOrig := uint64(0)
+	if pre.Original != nil {
+		hasOrig = 1
+	}
+	head := []uint64{preMagic, uint64(len(pre.Radii)), uint64(pre.Added), uint64(pre.Visited), uint64(pre.EdgesScanned), hasOrig}
+	for _, h := range head {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, pre.Radii); err != nil {
+		return err
+	}
+	if err := graph.WriteBinary(bw, pre.Graph); err != nil {
+		return err
+	}
+	if hasOrig == 1 {
+		if err := graph.WriteBinary(bw, pre.Original); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPreprocessed loads a bundle written by WritePreprocessed.
+func ReadPreprocessed(r io.Reader) (*Preprocessed, error) {
+	br := bufio.NewReader(r)
+	var head [6]uint64
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, err
+		}
+	}
+	if head[0] != preMagic {
+		return nil, fmt.Errorf("radiusstep: bad preprocessed magic %#x", head[0])
+	}
+	n := head[1]
+	if n > 1<<34 {
+		return nil, fmt.Errorf("radiusstep: implausible vertex count %d", n)
+	}
+	if head[5] > 1 {
+		return nil, fmt.Errorf("radiusstep: corrupt original-graph flag %d", head[5])
+	}
+	pre := &Preprocessed{
+		Radii:        make([]float64, n),
+		Added:        int64(head[2]),
+		Visited:      int64(head[3]),
+		EdgesScanned: int64(head[4]),
+	}
+	if err := binary.Read(br, binary.LittleEndian, pre.Radii); err != nil {
+		return nil, err
+	}
+	g, err := graph.ReadBinary(br)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumVertices() != int(n) {
+		return nil, fmt.Errorf("radiusstep: radii/graph size mismatch")
+	}
+	for _, rad := range pre.Radii {
+		if rad < 0 || math.IsNaN(rad) {
+			return nil, fmt.Errorf("radiusstep: corrupt radii")
+		}
+	}
+	pre.Graph = g
+	if head[5] == 1 {
+		orig, err := graph.ReadBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		if orig.NumVertices() != int(n) {
+			return nil, fmt.Errorf("radiusstep: original graph size mismatch")
+		}
+		pre.Original = orig
+	}
+	return pre, nil
+}

@@ -1,0 +1,276 @@
+package radiusstep_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	rs "radiusstep"
+)
+
+func solverOn(t *testing.T, g *rs.Graph, rho int) *rs.Solver {
+	t.Helper()
+	s, err := rs.NewSolver(g, rs.Options{Rho: rho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTreeParentsAreTight(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(20, 20), 1, 100, 1)
+	s := solverOn(t, g, 8)
+	dist, parent, _, err := s.Tree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[0] != 0 {
+		t.Fatal("source parent must be itself")
+	}
+	aug := s.Preprocessed().Graph
+	for v := 1; v < g.NumVertices(); v++ {
+		p := parent[v]
+		if p < 0 {
+			t.Fatalf("vertex %d unreachable in connected graph", v)
+		}
+		// Parent edges live in the augmented graph (shortcuts allowed)
+		// and must be tight.
+		w, err := rs.PathLength(aug, []rs.Vertex{p, rs.Vertex(v)})
+		if err != nil {
+			t.Fatalf("parent edge missing: %v", err)
+		}
+		if dist[p]+w != dist[v] {
+			t.Fatalf("parent edge not tight at %d", v)
+		}
+	}
+}
+
+func TestTreeDeterministicAcrossEngines(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.ScaleFree(600, 4, 2), 1, 1000, 3)
+	pre, err := rs.Preprocess(g, rs.Options{Rho: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []rs.Vertex
+	for _, e := range []rs.Engine{rs.EngineSequential, rs.EngineParallel, rs.EngineFlat} {
+		s, err := rs.NewSolverPre(pre, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, parent, _, err := s.Tree(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = parent
+			continue
+		}
+		for v := range parent {
+			if parent[v] != ref[v] {
+				t.Fatalf("%v: parent[%d] = %d, ref %d", e, v, parent[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestPathToWalksTree(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(10, 10), 1, 50, 4)
+	s := solverOn(t, g, 6)
+	dist, parent, _, err := s.Tree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := rs.PathTo(parent, 99)
+	if len(path) < 2 || path[0] != 0 || path[len(path)-1] != 99 {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	// Its length in the augmented graph must equal the distance.
+	length, err := rs.PathLength(s.Preprocessed().Graph, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != dist[99] {
+		t.Fatalf("path length %v != dist %v", length, dist[99])
+	}
+	if rs.PathTo(parent, -1) != nil {
+		t.Fatal("negative dst should give nil")
+	}
+}
+
+func TestDistanceEarlyTermination(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(60, 60), 1, 100, 5)
+	s := solverOn(t, g, 16)
+	full := rs.Dijkstra(g, 0)
+	// Near target: should settle in far fewer steps than the full solve.
+	d, stNear, err := s.Distance(0, 61) // adjacent diagonal area
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != full[61] {
+		t.Fatalf("near distance %v, want %v", d, full[61])
+	}
+	_, stFull, err := s.Distances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stNear.Steps >= stFull.Steps {
+		t.Fatalf("early termination did not help: %d vs %d steps", stNear.Steps, stFull.Steps)
+	}
+	// Far target: still exact.
+	dFar, _, err := s.Distance(0, 3599)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFar != full[3599] {
+		t.Fatalf("far distance %v, want %v", dFar, full[3599])
+	}
+}
+
+func TestDistanceSourceAndUnreachable(t *testing.T) {
+	b := rs.NewBuilder(4)
+	b.Add(0, 1, 2)
+	g := b.Build()
+	s := solverOn(t, g, 2)
+	if d, _, err := s.Distance(0, 0); err != nil || d != 0 {
+		t.Fatalf("self distance = %v, %v", d, err)
+	}
+	d, _, err := s.Distance(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("unreachable distance = %v", d)
+	}
+	if _, _, err := s.Distance(0, 9); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestPathMatchesDijkstra(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.RandomConnected(300, 900, 6), 1, 30, 7)
+	s := solverOn(t, g, 10)
+	full := rs.Dijkstra(g, 5)
+	for _, dst := range []rs.Vertex{0, 42, 123, 299} {
+		path, d, err := s.Path(5, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != full[dst] {
+			t.Fatalf("dst %d: length %v, want %v", dst, d, full[dst])
+		}
+		if path[0] != 5 || path[len(path)-1] != dst {
+			t.Fatalf("dst %d: endpoints wrong", dst)
+		}
+		// Paths are reconstructed over the ORIGINAL graph: every hop is
+		// a real edge and the weights sum to the distance.
+		length, err := rs.PathLength(g, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if length != d {
+			t.Fatalf("dst %d: edge sum %v != %v", dst, length, d)
+		}
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	b := rs.NewBuilder(3)
+	b.Add(0, 1, 1)
+	g := b.Build()
+	s := solverOn(t, g, 2)
+	path, d, err := s.Path(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil || !math.IsInf(d, 1) {
+		t.Fatalf("unreachable path = %v, %v", path, d)
+	}
+}
+
+func TestPathLengthErrors(t *testing.T) {
+	g := rs.Grid2D(3, 3)
+	if _, err := rs.PathLength(g, []rs.Vertex{0, 8}); err == nil {
+		t.Fatal("non-adjacent hop accepted")
+	}
+	if l, err := rs.PathLength(g, []rs.Vertex{4}); err != nil || l != 0 {
+		t.Fatal("single-vertex path should be 0")
+	}
+}
+
+func TestPreprocessedRoundTrip(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(15, 15), 1, 500, 8)
+	pre, err := rs.Preprocess(g, rs.Options{Rho: 10, K: 2, Heuristic: rs.HeuristicDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WritePreprocessed(&buf, pre); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.ReadPreprocessed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Added != pre.Added || got.Visited != pre.Visited || got.EdgesScanned != pre.EdgesScanned {
+		t.Fatal("counters changed in round trip")
+	}
+	if got.Original == nil || got.Original.NumEdges() != g.NumEdges() {
+		t.Fatal("original graph lost in round trip")
+	}
+	for i := range pre.Radii {
+		if got.Radii[i] != pre.Radii[i] {
+			t.Fatalf("radii differ at %d", i)
+		}
+	}
+	// The reloaded bundle answers queries identically.
+	want := rs.Dijkstra(g, 7)
+	s, err := rs.NewSolverPre(got, rs.EngineSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := s.Distances(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("reloaded solver wrong at %d", i)
+		}
+	}
+}
+
+func TestReadPreprocessedRejectsCorruption(t *testing.T) {
+	g := rs.Grid2D(5, 5)
+	pre, err := rs.Preprocess(g, rs.Options{Rho: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WritePreprocessed(&buf, pre); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncations at several boundaries.
+	for _, cut := range []int{0, 4, 16, len(raw) / 2, len(raw) - 3} {
+		if _, err := rs.ReadPreprocessed(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := rs.ReadPreprocessed(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Corrupt radii (negative). The header is 6 uint64 fields; the first
+	// radius follows.
+	bad2 := append([]byte(nil), raw...)
+	bad2[6*8+7] = 0xff // sign bit of first radius
+	if _, err := rs.ReadPreprocessed(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	// Writing a broken bundle fails fast.
+	if err := rs.WritePreprocessed(&bytes.Buffer{}, &rs.Preprocessed{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package radiusstep
+
+import (
+	"fmt"
+
+	"radiusstep/internal/core"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+	"radiusstep/internal/preprocess"
+)
+
+// Graph is an immutable undirected weighted graph in compressed-sparse-
+// row form. Build one with NewBuilder, FromEdges, a generator, or the
+// reader functions.
+type Graph = graph.CSR
+
+// Edge is one undirected weighted edge {U, V} with weight W >= 0.
+type Edge = graph.Edge
+
+// Vertex is a dense vertex identifier in [0, n).
+type Vertex = graph.V
+
+// Stats reports the round structure of one solve: Steps (outer rounds),
+// Substeps (inner Bellman–Ford rounds), counters for scanned edges and
+// successful relaxations.
+type Stats = core.Stats
+
+// StepTrace describes one completed radius-stepping step to observers.
+type StepTrace = core.StepTrace
+
+// Heuristic selects how shortcut edges are placed for K > 1.
+type Heuristic = preprocess.Heuristic
+
+// Shortcut heuristics: HeuristicDirect adds an edge to every ball vertex
+// (the (1,ρ) construction); HeuristicGreedy shortcuts tree levels
+// k+1, 2k+1, …; HeuristicDP solves the per-tree optimal F(u,t) dynamic
+// program (§4.2 of the paper; DP is never worse than greedy).
+const (
+	HeuristicDirect = preprocess.Direct
+	HeuristicGreedy = preprocess.Greedy
+	HeuristicDP     = preprocess.DP
+)
+
+// Engine selects the radius-stepping implementation a Solver uses.
+type Engine int
+
+const (
+	// EngineAuto picks EngineParallel for large graphs and
+	// EngineSequential for small ones.
+	EngineAuto Engine = iota
+	// EngineSequential is the lazy-heap reference implementation —
+	// fastest on a single core and the engine experiments count with.
+	EngineSequential
+	// EngineParallel is the paper's Algorithm 2: ordered-set Q/R with
+	// bulk updates and concurrent priority-write relaxations.
+	EngineParallel
+	// EngineFlat is the §3.4 frontier engine (no ordered sets); on
+	// unweighted graphs this is the parallel-BFS-style variant.
+	EngineFlat
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSequential:
+		return "sequential"
+	case EngineParallel:
+		return "parallel"
+	case EngineFlat:
+		return "flat"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configures preprocessing and the solver.
+type Options struct {
+	// Rho is the ball size ρ (>= 1): each step settles about ρ vertices,
+	// so depth shrinks and preprocessing cost grows with ρ. Default 32.
+	Rho int
+	// K is the hop budget k (>= 1, default 1): larger k adds fewer
+	// shortcut edges but allows up to k+2 substeps per step.
+	K int
+	// Heuristic places shortcuts when K > 1 (default HeuristicDP).
+	Heuristic Heuristic
+	// Engine picks the query implementation (default EngineAuto).
+	Engine Engine
+}
+
+func (o *Options) setDefaults() {
+	if o.Rho == 0 {
+		o.Rho = 32
+	}
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.K > 1 && o.Heuristic == HeuristicDirect {
+		o.Heuristic = HeuristicDP
+	}
+}
+
+// Preprocessed is the output of Preprocess: the augmented (k, ρ)-graph
+// (same shortest-path metric as the input), the radii, and work
+// statistics.
+type Preprocessed struct {
+	// Graph is the input plus shortcut edges; queries run on it.
+	Graph *Graph
+	// Original is the input graph (no shortcuts). Path reconstruction
+	// walks it so returned routes use only real edges.
+	Original *Graph
+	// Radii holds r_ρ(v) for every vertex.
+	Radii []float64
+	// Added counts genuinely new shortcut edges (per-source accounting).
+	Added int64
+	// Visited and EdgesScanned measure preprocessing work.
+	Visited      int64
+	EdgesScanned int64
+}
+
+// Preprocess converts g into a (k, ρ)-graph per opt and derives the
+// per-vertex radii. The input graph is not modified. Rho is clamped to
+// the vertex count (a ball cannot exceed the graph).
+func Preprocess(g *Graph, opt Options) (*Preprocessed, error) {
+	opt.setDefaults()
+	if n := g.NumVertices(); opt.Rho > n && n > 0 {
+		opt.Rho = n
+	}
+	res, err := preprocess.Run(g, preprocess.Options{
+		Rho:       opt.Rho,
+		K:         opt.K,
+		Heuristic: opt.Heuristic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Preprocessed{
+		Graph:        res.G,
+		Original:     g,
+		Radii:        res.Radii,
+		Added:        res.Added,
+		Visited:      res.Visited,
+		EdgesScanned: res.EdgesScanned,
+	}, nil
+}
+
+// Radii computes r_ρ(v) for every vertex without adding shortcuts.
+func Radii(g *Graph, rho int) ([]float64, error) {
+	return preprocess.RadiiOnly(g, rho)
+}
+
+// Solver answers repeated single-source shortest-path queries over a
+// preprocessed graph. Construct with NewSolver (which preprocesses) or
+// NewSolverPre (re-using an existing Preprocessed). A Solver is safe for
+// concurrent queries: each Distances call works on its own state.
+type Solver struct {
+	pre    *Preprocessed
+	engine Engine
+}
+
+// NewSolver preprocesses g per opt and returns a query object. The
+// preprocessing cost is amortized over all subsequent queries (§5.4:
+// raise Rho when many sources will be queried).
+func NewSolver(g *Graph, opt Options) (*Solver, error) {
+	opt.setDefaults()
+	pre, err := Preprocess(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{pre: pre, engine: opt.Engine}, nil
+}
+
+// NewSolverPre wraps an existing preprocessing result.
+func NewSolverPre(pre *Preprocessed, engine Engine) (*Solver, error) {
+	if pre == nil || pre.Graph == nil || len(pre.Radii) != pre.Graph.NumVertices() {
+		return nil, fmt.Errorf("radiusstep: invalid preprocessed input")
+	}
+	return &Solver{pre: pre, engine: engine}, nil
+}
+
+// Preprocessed exposes the solver's augmented graph and radii.
+func (s *Solver) Preprocessed() *Preprocessed { return s.pre }
+
+// autoThreshold: below this many arcs the sequential engine wins.
+const autoThreshold = 1 << 17
+
+func (s *Solver) pick() Engine {
+	if s.engine != EngineAuto {
+		return s.engine
+	}
+	if s.pre.Graph.NumArcs() >= autoThreshold {
+		return EngineParallel
+	}
+	return EngineSequential
+}
+
+// Distances returns the shortest-path distances from src on the original
+// metric (+Inf for unreachable vertices) and the round statistics.
+func (s *Solver) Distances(src Vertex) ([]float64, Stats, error) {
+	switch s.pick() {
+	case EngineParallel:
+		return core.Solve(s.pre.Graph, s.pre.Radii, src)
+	case EngineFlat:
+		return core.SolveFlat(s.pre.Graph, s.pre.Radii, src)
+	default:
+		return core.SolveRef(s.pre.Graph, s.pre.Radii, src)
+	}
+}
+
+// DistancesTrace is Distances with a per-step observer (sequential
+// engine only, which is the one that reports traces).
+func (s *Solver) DistancesTrace(src Vertex, fn func(StepTrace)) ([]float64, Stats, error) {
+	return core.SolveRefTrace(s.pre.Graph, s.pre.Radii, src, fn)
+}
+
+// SolveWithRadii runs radius-stepping directly with caller-provided
+// radii (correct for any non-negative radii; the step bounds require the
+// (k,ρ) property). Exposed for experimentation — most callers want
+// Solver.
+func SolveWithRadii(g *Graph, radii []float64, src Vertex, engine Engine) ([]float64, Stats, error) {
+	switch engine {
+	case EngineParallel:
+		return core.Solve(g, radii, src)
+	case EngineFlat:
+		return core.SolveFlat(g, radii, src)
+	default:
+		return core.SolveRef(g, radii, src)
+	}
+}
+
+// DistancesBatch answers queries from many sources, running the
+// sequential engine on each source with sources distributed across
+// cores — the layout the paper's multi-source amortization argument
+// (§5.4) targets. The result holds one distance vector per source
+// (memory is len(sources)·n·8 bytes).
+func (s *Solver) DistancesBatch(sources []Vertex) ([][]float64, []Stats, error) {
+	dists := make([][]float64, len(sources))
+	stats := make([]Stats, len(sources))
+	errs := make([]error, len(sources))
+	parallel.Workers(len(sources), func(_ int, claim func() (int, bool)) {
+		for {
+			i, ok := claim()
+			if !ok {
+				return
+			}
+			dists[i], stats[i], errs[i] = core.SolveRef(s.pre.Graph, s.pre.Radii, sources[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return dists, stats, nil
+}
