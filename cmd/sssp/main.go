@@ -77,8 +77,14 @@ func main() {
 	var dist []float64
 	switch *algo {
 	case "radius":
-		h := map[string]rs.Heuristic{"direct": rs.HeuristicDirect, "greedy": rs.HeuristicGreedy, "dp": rs.HeuristicDP}[*heuristic]
-		e := map[string]rs.Engine{"auto": rs.EngineAuto, "seq": rs.EngineSequential, "par": rs.EngineParallel, "flat": rs.EngineFlat}[*engine]
+		h, err := rs.ParseHeuristic(*heuristic)
+		if err != nil {
+			fail("%v", err)
+		}
+		e, err := rs.ParseEngine(*engine)
+		if err != nil {
+			fail("%v", err)
+		}
 		t0 := time.Now()
 		solver, err := rs.NewSolver(g, rs.Options{Rho: *rho, K: *k, Heuristic: h, Engine: e})
 		if err != nil {

@@ -1,0 +1,174 @@
+// Command ssspd is the shortest-path query daemon: it loads one or more
+// named graphs at startup, preprocesses each into a radius-stepping
+// solver, and serves HTTP/JSON queries with request coalescing, a
+// bounded solve pool, and a source-keyed distance cache.
+//
+// Examples:
+//
+//	ssspd -graph road=gen=road,n=200000,weights=10000,rho=64 -listen :8517
+//	ssspd -config deploy.json
+//	ssspd -graph g=file=graph.txt,rho=32 -cache-mb 512 -workers 8
+//	ssspd -selftest -selftest-queries 5000
+//
+// Config file format (JSON):
+//
+//	{
+//	  "listen": ":8517",
+//	  "workers": 8,
+//	  "cacheMB": 256,
+//	  "graphs": [
+//	    {"name": "road", "gen": "road", "n": 200000, "weights": 10000, "rho": 64},
+//	    {"name": "web",  "gen": "web",  "n": 100000, "rho": 32, "k": 3}
+//	  ]
+//	}
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"radiusstep/internal/server"
+)
+
+// fileConfig is the JSON config accepted by -config.
+type fileConfig struct {
+	Listen  string               `json:"listen,omitempty"`
+	Workers int                  `json:"workers,omitempty"`
+	CacheMB int64                `json:"cacheMB,omitempty"`
+	Graphs  []server.GraphConfig `json:"graphs"`
+}
+
+// multiFlag collects repeated -graph flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	var graphSpecs multiFlag
+	flag.Var(&graphSpecs, "graph", "load a graph: name=gen=road,n=50000,rho=64 | name=file=PATH | name=pre=PATH (repeatable)")
+	configPath := flag.String("config", "", "JSON config file (see package doc)")
+	listen := flag.String("listen", ":8517", "HTTP listen address")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheMB := flag.Int64("cache-mb", 256, "distance-cache budget in MiB (0 disables)")
+	selftest := flag.Bool("selftest", false, "run an in-process load smoke test and exit")
+	selftestQueries := flag.Int("selftest-queries", 2000, "queries fired by -selftest")
+	selftestClients := flag.Int("selftest-clients", 16, "concurrent clients used by -selftest")
+	flag.Parse()
+
+	// Explicit flags beat the config file; flag.Visit distinguishes a
+	// flag the operator actually passed from one left at its default.
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	var cfgs []server.GraphConfig
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fail("config: %v", err)
+		}
+		var fc fileConfig
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&fc); err != nil {
+			fail("config %s: %v", *configPath, err)
+		}
+		cfgs = append(cfgs, fc.Graphs...)
+		if fc.Listen != "" && !setFlags["listen"] {
+			*listen = fc.Listen
+		}
+		if fc.Workers > 0 && !setFlags["workers"] {
+			*workers = fc.Workers
+		}
+		if fc.CacheMB > 0 && !setFlags["cache-mb"] {
+			*cacheMB = fc.CacheMB
+		}
+	}
+	for _, spec := range graphSpecs {
+		cfg, err := server.ParseGraphSpec(spec)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	if len(cfgs) == 0 {
+		if *selftest {
+			// A sensible default workload so `ssspd -selftest` works bare.
+			cfgs = append(cfgs, server.GraphConfig{
+				Name: "demo", Gen: "road", N: 50000, Weights: 10000, Rho: 64, Seed: 42,
+			})
+		} else {
+			fail("need at least one -graph spec or a -config file (try: -graph demo=gen=road,n=50000)")
+		}
+	}
+
+	reg := server.NewRegistry()
+	for _, cfg := range cfgs {
+		t0 := time.Now()
+		entry, err := server.BuildEntry(cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := reg.Add(entry); err != nil {
+			fail("%v", err)
+		}
+		log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts (%v)",
+			entry.Name, entry.Info.Vertices, entry.Info.Edges, entry.Info.Rho,
+			entry.Info.K, entry.Info.ShortcutsAdded, time.Since(t0).Round(time.Millisecond))
+	}
+
+	srv := server.New(reg, server.Config{
+		Workers:    *workers,
+		CacheBytes: *cacheMB << 20,
+	})
+
+	if *selftest {
+		report, err := server.LoadSmoke(srv, server.SmokeConfig{
+			Queries: *selftestQueries,
+			Clients: *selftestClients,
+		})
+		if err != nil {
+			fail("selftest: %v", err)
+		}
+		fmt.Println(report)
+		if report.Failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	httpSrv := &http.Server{
+		Addr:         *listen,
+		Handler:      srv.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // full distance vectors can be large
+	}
+	go func() {
+		log.Printf("ssspd listening on %s (%d graphs)", *listen, reg.Len())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+}

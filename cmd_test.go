@@ -28,7 +28,7 @@ func buildCLIs(t *testing.T) string {
 		if cliErr != nil {
 			return
 		}
-		for _, tool := range []string{"radius-bench", "sssp", "graphgen"} {
+		for _, tool := range []string{"radius-bench", "sssp", "graphgen", "ssspd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -102,6 +102,35 @@ func TestCLISsspAlgorithms(t *testing.T) {
 	}
 	if _, err := runCLI(t, dir, "sssp"); err == nil {
 		t.Fatal("missing -gen/-in accepted")
+	}
+	// Unknown heuristic/engine names must fail loudly, not silently map
+	// to the zero value.
+	if _, err := runCLI(t, dir, "sssp", "-gen", "grid2d", "-n", "100", "-heuristic", "typo"); err == nil {
+		t.Fatal("bogus -heuristic accepted")
+	}
+	if _, err := runCLI(t, dir, "sssp", "-gen", "grid2d", "-n", "100", "-engine", "typo"); err == nil {
+		t.Fatal("bogus -engine accepted")
+	}
+}
+
+func TestCLISsspdSelftest(t *testing.T) {
+	dir := buildCLIs(t)
+	out, err := runCLI(t, dir, "ssspd",
+		"-graph", "tiny=gen=grid2d,n=400,weights=100,rho=8",
+		"-selftest", "-selftest-queries", "60", "-selftest-clients", "4")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"selftest graph=tiny", "failures=0", "p50=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in selftest report:\n%s", want, out)
+		}
+	}
+	if _, err := runCLI(t, dir, "ssspd", "-graph", "bad=gen=nope,n=10"); err == nil {
+		t.Fatal("bogus graph spec accepted")
+	}
+	if _, err := runCLI(t, dir, "ssspd"); err == nil {
+		t.Fatal("serving with no graphs accepted")
 	}
 }
 

@@ -1,0 +1,3 @@
+module radiusstep
+
+go 1.24

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent duplicate work: while one solve for a
+// (graph, source) key is in flight, later arrivals for the same key wait
+// for its result instead of starting their own solve. This is the
+// singleflight pattern, implemented locally so the module stays
+// stdlib-only.
+type flightGroup struct {
+	mu      sync.Mutex
+	calls   map[cacheKey]*flightCall
+	waiters atomic.Int64 // callers currently parked on another caller's solve
+}
+
+type flightCall struct {
+	done chan struct{}
+	dist []float64
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
+}
+
+// Do runs fn for key unless an identical call is already in flight, in
+// which case it waits for that call's result. joined reports whether
+// this caller piggybacked on another caller's solve. A waiting caller
+// whose context expires returns the context error; the in-flight solve
+// keeps running for the remaining waiters.
+func (g *flightGroup) Do(ctx context.Context, key cacheKey, fn func() ([]float64, error)) (dist []float64, joined bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.waiters.Add(1)
+		defer g.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.dist, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.dist, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.dist, false, c.err
+}
+
+// FlightStats snapshots the coalescing state.
+type FlightStats struct {
+	InFlight int   `json:"inFlight"`
+	Waiting  int64 `json:"waiting"`
+}
+
+func (g *flightGroup) Stats() FlightStats {
+	g.mu.Lock()
+	n := len(g.calls)
+	g.mu.Unlock()
+	return FlightStats{InFlight: n, Waiting: g.waiters.Load()}
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// solvePool bounds the number of SSSP solves running at once so a burst
+// of uncached queries cannot oversubscribe the machine (each solve may
+// itself be internally parallel). Cache hits never touch the pool.
+type solvePool struct {
+	sem     chan struct{}
+	inUse   atomic.Int64
+	waiting atomic.Int64
+}
+
+func newSolvePool(workers int) *solvePool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &solvePool{sem: make(chan struct{}, workers)}
+}
+
+// acquire blocks until a solve slot is free or ctx is done.
+func (p *solvePool) acquire(ctx context.Context) error {
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+		p.inUse.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *solvePool) release() {
+	<-p.sem
+	p.inUse.Add(-1)
+}
+
+func (p *solvePool) size() int { return cap(p.sem) }
+
+// PoolStats snapshots the worker pool.
+type PoolStats struct {
+	Workers int   `json:"workers"`
+	InUse   int64 `json:"inUse"`
+	Waiting int64 `json:"waiting"`
+}
+
+func (p *solvePool) Stats() PoolStats {
+	return PoolStats{Workers: p.size(), InUse: p.inUse.Load(), Waiting: p.waiting.Load()}
+}

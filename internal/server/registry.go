@@ -1,0 +1,321 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	rs "radiusstep"
+)
+
+// Backend answers shortest-path queries for one graph. The production
+// implementation wraps *radiusstep.Solver; tests substitute fakes to
+// observe solve counts and control timing.
+type Backend interface {
+	NumVertices() int
+	// Distances runs a full SSSP solve from src.
+	Distances(src rs.Vertex) ([]float64, rs.Stats, error)
+	// Path answers a point-to-point query with early termination.
+	Path(src, dst rs.Vertex) ([]rs.Vertex, float64, error)
+}
+
+// GraphInfo is the registry metadata served by GET /v1/graphs.
+type GraphInfo struct {
+	Name             string  `json:"name"`
+	Vertices         int     `json:"vertices"`
+	Edges            int     `json:"edges"`
+	Rho              int     `json:"rho"`
+	K                int     `json:"k"`
+	Heuristic        string  `json:"heuristic"`
+	Engine           string  `json:"engine"`
+	ShortcutsAdded   int64   `json:"shortcutsAdded"`
+	MaxWeight        float64 `json:"maxWeight"`
+	PreprocessMillis int64   `json:"preprocessMillis"`
+	Source           string  `json:"source"`
+}
+
+// Entry binds a name to a query backend and its metadata.
+type Entry struct {
+	Name    string
+	Backend Backend
+	Info    GraphInfo
+}
+
+// Registry maps graph names to preprocessed backends so multiple graph
+// deployments coexist in one daemon.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Add registers e, rejecting duplicate names.
+func (r *Registry) Add(e *Entry) error {
+	if e == nil || e.Name == "" || e.Backend == nil {
+		return fmt.Errorf("server: invalid registry entry")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[e.Name]; ok {
+		return fmt.Errorf("server: duplicate graph name %q", e.Name)
+	}
+	r.entries[e.Name] = e
+	return nil
+}
+
+// Get looks up a graph by name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// solverBackend adapts *radiusstep.Solver to the Backend interface.
+type solverBackend struct {
+	solver *rs.Solver
+	n      int
+}
+
+func (b *solverBackend) NumVertices() int { return b.n }
+
+func (b *solverBackend) Distances(src rs.Vertex) ([]float64, rs.Stats, error) {
+	return b.solver.Distances(src)
+}
+
+func (b *solverBackend) Path(src, dst rs.Vertex) ([]rs.Vertex, float64, error) {
+	return b.solver.Path(src, dst)
+}
+
+// NewSolverEntry wraps a preprocessed solver as a registry entry,
+// deriving the metadata from the preprocessing bundle.
+func NewSolverEntry(name string, solver *rs.Solver, opt rs.Options, source string, prepTime time.Duration) *Entry {
+	pre := solver.Preprocessed()
+	g := pre.Original
+	if g == nil {
+		g = pre.Graph
+	}
+	return &Entry{
+		Name:    name,
+		Backend: &solverBackend{solver: solver, n: g.NumVertices()},
+		Info: GraphInfo{
+			Name:             name,
+			Vertices:         g.NumVertices(),
+			Edges:            g.NumEdges(),
+			Rho:              opt.Rho,
+			K:                opt.K,
+			Heuristic:        opt.Heuristic.String(),
+			Engine:           opt.Engine.String(),
+			ShortcutsAdded:   pre.Added,
+			MaxWeight:        g.MaxWeight(),
+			PreprocessMillis: prepTime.Milliseconds(),
+			Source:           source,
+		},
+	}
+}
+
+// GraphConfig describes one graph to load: exactly one of Gen (a
+// generator family name), File (a text edge-list path), or Pre (a
+// preprocessed bundle written by radiusstep.WritePreprocessed) must be
+// set. The remaining fields tune generation and preprocessing.
+type GraphConfig struct {
+	Name      string `json:"name"`
+	Gen       string `json:"gen,omitempty"`
+	File      string `json:"file,omitempty"`
+	Pre       string `json:"pre,omitempty"`
+	N         int    `json:"n,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Weights   int    `json:"weights,omitempty"`
+	Rho       int    `json:"rho,omitempty"`
+	K         int    `json:"k,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+}
+
+// ParseGraphSpec parses the -graph flag form
+//
+//	name=gen=road,n=50000,weights=10000,rho=64
+//	name=file=/data/g.txt,rho=32
+//	name=pre=/data/g.pre
+//
+// into a GraphConfig. Unknown keys are an error, matching the
+// fail-loudly contract of ParseHeuristic/ParseEngine.
+func ParseGraphSpec(spec string) (GraphConfig, error) {
+	cfg := GraphConfig{Seed: 42}
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return cfg, fmt.Errorf("server: graph spec %q: want name=key=val,...", spec)
+	}
+	cfg.Name = name
+	for _, field := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok || v == "" {
+			return cfg, fmt.Errorf("server: graph spec %q: bad field %q", spec, field)
+		}
+		var err error
+		switch k {
+		case "gen":
+			cfg.Gen = v
+		case "file":
+			cfg.File = v
+		case "pre":
+			cfg.Pre = v
+		case "n":
+			cfg.N, err = strconv.Atoi(v)
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "weights":
+			cfg.Weights, err = strconv.Atoi(v)
+		case "rho":
+			cfg.Rho, err = strconv.Atoi(v)
+		case "k":
+			cfg.K, err = strconv.Atoi(v)
+		case "heuristic":
+			cfg.Heuristic = v
+		case "engine":
+			cfg.Engine = v
+		default:
+			return cfg, fmt.Errorf("server: graph spec %q: unknown key %q", spec, k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("server: graph spec %q: field %q: %v", spec, field, err)
+		}
+	}
+	return cfg, nil
+}
+
+// BuildEntry loads or generates the graph described by cfg, preprocesses
+// it, and returns a ready registry entry.
+func BuildEntry(cfg GraphConfig) (*Entry, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("server: graph config needs a name")
+	}
+	srcs := 0
+	for _, s := range []string{cfg.Gen, cfg.File, cfg.Pre} {
+		if s != "" {
+			srcs++
+		}
+	}
+	if srcs != 1 {
+		return nil, fmt.Errorf("server: graph %q: exactly one of gen|file|pre required", cfg.Name)
+	}
+
+	opt := rs.Options{Rho: cfg.Rho, K: cfg.K}
+	if cfg.Heuristic != "" {
+		h, err := rs.ParseHeuristic(cfg.Heuristic)
+		if err != nil {
+			return nil, err
+		}
+		opt.Heuristic = h
+	}
+	if cfg.Engine != "" {
+		e, err := rs.ParseEngine(cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opt.Engine = e
+	}
+
+	start := time.Now()
+	var (
+		solver *rs.Solver
+		source string
+		err    error
+	)
+	switch {
+	case cfg.Pre != "":
+		// The bundle was preprocessed elsewhere: rho/k/heuristic are
+		// baked in and unknown here, so accepting them would silently
+		// do nothing while /v1/graphs echoed them back as truth.
+		if cfg.Rho != 0 || cfg.K != 0 || cfg.Heuristic != "" {
+			return nil, fmt.Errorf("server: graph %q: rho/k/heuristic do not apply to a preprocessed bundle", cfg.Name)
+		}
+		f, ferr := os.Open(cfg.Pre)
+		if ferr != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, ferr)
+		}
+		defer f.Close()
+		pre, perr := rs.ReadPreprocessed(f)
+		if perr != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, perr)
+		}
+		solver, err = rs.NewSolverPre(pre, opt.Engine)
+		source = "pre:" + cfg.Pre
+	case cfg.File != "":
+		f, ferr := os.Open(cfg.File)
+		if ferr != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, ferr)
+		}
+		defer f.Close()
+		g, gerr := rs.ReadGraph(f)
+		if gerr != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, gerr)
+		}
+		if cfg.Weights > 0 {
+			g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+		}
+		solver, err = rs.NewSolver(g, opt)
+		source = "file:" + cfg.File
+	default:
+		n := cfg.N
+		if n == 0 {
+			n = 100000
+		}
+		g, gerr := rs.GenerateByName(cfg.Gen, n, cfg.Seed)
+		if gerr != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, gerr)
+		}
+		if cfg.Weights > 0 {
+			g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+		}
+		solver, err = rs.NewSolver(g, opt)
+		source = fmt.Sprintf("gen:%s,n=%d,seed=%d", cfg.Gen, n, cfg.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+	}
+	if cfg.Pre != "" {
+		// A bundle does not record its preprocessing parameters; report
+		// them as unknown (zero) rather than inventing defaults.
+		entry := NewSolverEntry(cfg.Name, solver, rs.Options{Engine: opt.Engine}, source, time.Since(start))
+		entry.Info.Rho, entry.Info.K, entry.Info.Heuristic = 0, 0, ""
+		return entry, nil
+	}
+	// Report the effective options: NewSolver applies the same defaults.
+	if opt.Rho == 0 {
+		opt.Rho = 32
+	}
+	if opt.K == 0 {
+		opt.K = 1
+	}
+	if opt.K > 1 && opt.Heuristic == rs.HeuristicDirect {
+		opt.Heuristic = rs.HeuristicDP
+	}
+	return NewSolverEntry(cfg.Name, solver, opt, source, time.Since(start)), nil
+}

@@ -1,0 +1,465 @@
+// Package server implements ssspd's query-serving subsystem: a registry
+// of named preprocessed graphs, a bounded pool of concurrent solves,
+// singleflight coalescing of duplicate (graph, source) queries, and a
+// source-keyed LRU cache of distance vectors — the layer that turns the
+// radius-stepping library's preprocess-once/query-many shape into an
+// online HTTP service.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/distances  one source; full vector, top-k nearest, or a target subset
+//	POST /v1/route      point-to-point path via the early-terminating solver
+//	POST /v1/batch      many sources with source-level parallelism
+//	GET  /v1/graphs     registry metadata (n, m, ρ, k, preprocessing stats)
+//	GET  /v1/stats      cache/coalescing/pool counters
+//	GET  /healthz       liveness
+//
+// Unreachable vertices are reported with distance -1 (JSON has no +Inf).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rs "radiusstep"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent solves (default GOMAXPROCS).
+	Workers int
+	// CacheBytes is the distance-cache budget; <= 0 disables caching.
+	CacheBytes int64
+}
+
+// Server serves shortest-path queries over a Registry. Create with New,
+// mount via Handler.
+type Server struct {
+	registry *Registry
+	cache    *distCache
+	flight   *flightGroup
+	pool     *solvePool
+	counters counters
+	start    time.Time
+
+	solvesByGraph sync.Map // graph name -> *counterCell
+}
+
+type counterCell struct{ v atomic.Int64 }
+
+// New builds a server over reg.
+func New(reg *Registry, cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		registry: reg,
+		cache:    newDistCache(cfg.CacheBytes),
+		flight:   newFlightGroup(),
+		pool:     newSolvePool(workers),
+		start:    time.Now(),
+	}
+}
+
+// Registry exposes the graph registry (for daemon startup logging).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the route table as an http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/distances", s.handleDistances)
+	mux.HandleFunc("POST /v1/route", s.handleRoute)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+// --- core query path ------------------------------------------------------
+
+// distances answers one (graph, source) query through the cache →
+// coalescing → pool pipeline. The returned slice is shared (cache and
+// concurrent waiters) and must not be modified.
+func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex) (dist []float64, cached bool, err error) {
+	key := cacheKey{graph: e.Name, src: int32(src)}
+	if d, ok := s.cache.Get(key); ok {
+		return d, true, nil
+	}
+	// The solve runs detached from the leader's request context: its
+	// result is shared with every coalesced waiter and the cache, so one
+	// client disconnecting must not poison the others' queries.
+	solveCtx := context.WithoutCancel(ctx)
+	d, joined, err := s.flight.Do(ctx, key, func() ([]float64, error) {
+		if err := s.pool.acquire(solveCtx); err != nil {
+			return nil, err
+		}
+		defer s.pool.release()
+		d, _, err := e.Backend.Distances(src)
+		if err != nil {
+			return nil, err
+		}
+		s.counters.solves.Add(1)
+		s.bumpGraph(e.Name)
+		s.cache.Add(key, d)
+		return d, nil
+	})
+	if joined {
+		s.counters.coalesced.Add(1)
+	}
+	return d, false, err
+}
+
+func (s *Server) bumpGraph(name string) {
+	cell, _ := s.solvesByGraph.LoadOrStore(name, &counterCell{})
+	cell.(*counterCell).v.Add(1)
+}
+
+// --- request/response types ----------------------------------------------
+
+type distancesRequest struct {
+	Graph   string  `json:"graph"`
+	Source  int64   `json:"source"`
+	TopK    int     `json:"topk,omitempty"`
+	Targets []int64 `json:"targets,omitempty"`
+}
+
+// vertexDistance pairs a vertex with its distance (-1 = unreachable).
+type vertexDistance struct {
+	Vertex   int64   `json:"vertex"`
+	Distance float64 `json:"distance"`
+}
+
+type distancesResponse struct {
+	Graph     string           `json:"graph"`
+	Source    int64            `json:"source"`
+	Cached    bool             `json:"cached"`
+	Reached   int              `json:"reached"`
+	Distances []float64        `json:"distances,omitempty"`
+	Nearest   []vertexDistance `json:"nearest,omitempty"`
+	Targets   []vertexDistance `json:"targets,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+type routeRequest struct {
+	Graph  string `json:"graph"`
+	Source int64  `json:"source"`
+	Target int64  `json:"target"`
+}
+
+type routeResponse struct {
+	Graph    string  `json:"graph"`
+	Source   int64   `json:"source"`
+	Target   int64   `json:"target"`
+	Distance float64 `json:"distance"` // -1 when unreachable
+	Hops     int     `json:"hops"`
+	Path     []int64 `json:"path,omitempty"`
+}
+
+type batchRequest struct {
+	Graph   string  `json:"graph"`
+	Sources []int64 `json:"sources"`
+	TopK    int     `json:"topk,omitempty"`
+	Targets []int64 `json:"targets,omitempty"`
+}
+
+type batchResponse struct {
+	Graph   string              `json:"graph"`
+	Results []distancesResponse `json:"results"`
+}
+
+// --- handlers -------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"graphs":        s.registry.Len(),
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
+	s.counters.reqGraphs.Add(1)
+	entries := s.registry.List()
+	infos := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.Info
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.counters.reqStats.Add(1)
+	snap := s.counters.snapshot()
+	snap.Cache = s.cache.Stats()
+	snap.Pool = s.pool.Stats()
+	snap.Flight = s.flight.Stats()
+	snap.SolvesByGraph = make(map[string]int64)
+	s.solvesByGraph.Range(func(k, v any) bool {
+		snap.SolvesByGraph[k.(string)] = v.(*counterCell).v.Load()
+		return true
+	})
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
+	s.counters.reqDistances.Add(1)
+	var req distancesRequest
+	if !decodeBody(w, r, &req, &s.counters) {
+		return
+	}
+	e, src, ok := s.resolve(w, req.Graph, req.Source)
+	if !ok {
+		return
+	}
+	if !s.checkTargets(w, e, req.Targets) {
+		return
+	}
+	resp, status := s.answerSource(r.Context(), e, src, req.TopK, req.Targets)
+	writeJSON(w, status, resp)
+}
+
+// checkTargets range-checks target vertices before any solve runs, so a
+// bad target is rejected for free instead of after a full SSSP.
+func (s *Server) checkTargets(w http.ResponseWriter, e *Entry, targets []int64) bool {
+	n := int64(e.Backend.NumVertices())
+	for _, t := range targets {
+		if t < 0 || t >= n {
+			s.fail(w, http.StatusBadRequest, "target %d out of range [0, %d)", t, n)
+			return false
+		}
+	}
+	return true
+}
+
+// answerSource runs one source query and shapes the response per the
+// topk/targets options. It is shared by /v1/distances and /v1/batch.
+func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK int, targets []int64) (distancesResponse, int) {
+	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
+	dist, cached, err := s.distances(ctx, e, src)
+	if err != nil {
+		s.counters.errors.Add(1)
+		resp.Error = err.Error()
+		return resp, http.StatusInternalServerError
+	}
+	resp.Cached = cached
+	for _, d := range dist {
+		if !math.IsInf(d, 1) {
+			resp.Reached++
+		}
+	}
+	switch {
+	case len(targets) > 0:
+		// Targets were range-checked by the handler before the solve.
+		resp.Targets = make([]vertexDistance, 0, len(targets))
+		for _, t := range targets {
+			resp.Targets = append(resp.Targets, vertexDistance{Vertex: t, Distance: finite(dist[t])})
+		}
+	case topK > 0:
+		resp.Nearest = nearestK(dist, topK)
+	default:
+		out := make([]float64, len(dist))
+		for i, d := range dist {
+			out[i] = finite(d)
+		}
+		resp.Distances = out
+	}
+	return resp, http.StatusOK
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	s.counters.reqRoute.Add(1)
+	var req routeRequest
+	if !decodeBody(w, r, &req, &s.counters) {
+		return
+	}
+	e, src, ok := s.resolve(w, req.Graph, req.Source)
+	if !ok {
+		return
+	}
+	if req.Target < 0 || req.Target >= int64(e.Backend.NumVertices()) {
+		s.fail(w, http.StatusBadRequest, "target %d out of range [0, %d)", req.Target, e.Backend.NumVertices())
+		return
+	}
+	if err := s.pool.acquire(r.Context()); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, "route: %v", err)
+		return
+	}
+	path, d, err := e.Backend.Path(src, rs.Vertex(req.Target))
+	s.pool.release()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "route: %v", err)
+		return
+	}
+	s.counters.routeSolves.Add(1)
+	resp := routeResponse{Graph: e.Name, Source: req.Source, Target: req.Target, Distance: finite(d)}
+	if len(path) > 0 {
+		resp.Hops = len(path) - 1
+		resp.Path = make([]int64, len(path))
+		for i, v := range path {
+			resp.Path[i] = int64(v)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.counters.reqBatch.Add(1)
+	var req batchRequest
+	if !decodeBody(w, r, &req, &s.counters) {
+		return
+	}
+	e, ok := s.registry.Get(req.Graph)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		return
+	}
+	if len(req.Sources) == 0 {
+		s.fail(w, http.StatusBadRequest, "batch needs at least one source")
+		return
+	}
+	const maxBatch = 4096
+	if len(req.Sources) > maxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d sources exceeds limit %d", len(req.Sources), maxBatch)
+		return
+	}
+	n := e.Backend.NumVertices()
+	for _, src := range req.Sources {
+		if src < 0 || src >= int64(n) {
+			s.fail(w, http.StatusBadRequest, "source %d out of range [0, %d)", src, n)
+			return
+		}
+	}
+	if !s.checkTargets(w, e, req.Targets) {
+		return
+	}
+	s.counters.batchSources.Add(int64(len(req.Sources)))
+
+	// Source-level parallelism: each source runs the full cache →
+	// coalescing → pool pipeline, so duplicates inside one batch
+	// coalesce exactly like concurrent independent clients.
+	results := make([]distancesResponse, len(req.Sources))
+	var wg sync.WaitGroup
+	for i, src := range req.Sources {
+		wg.Add(1)
+		go func(i int, src int64) {
+			defer wg.Done()
+			results[i], _ = s.answerSource(r.Context(), e, rs.Vertex(src), req.TopK, req.Targets)
+		}(i, src)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{Graph: e.Name, Results: results})
+}
+
+// --- helpers --------------------------------------------------------------
+
+// resolve looks up the graph and validates the source vertex.
+func (s *Server) resolve(w http.ResponseWriter, graph string, source int64) (*Entry, rs.Vertex, bool) {
+	e, ok := s.registry.Get(graph)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown graph %q", graph)
+		return nil, 0, false
+	}
+	if source < 0 || source >= int64(e.Backend.NumVertices()) {
+		s.fail(w, http.StatusBadRequest, "source %d out of range [0, %d)", source, e.Backend.NumVertices())
+		return nil, 0, false
+	}
+	return e, rs.Vertex(source), true
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.counters.errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any, c *counters) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		c.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// finite maps +Inf (unreachable) to the JSON-safe sentinel -1.
+func finite(d float64) float64 {
+	if math.IsInf(d, 1) {
+		return -1
+	}
+	return d
+}
+
+// nearestK returns the k closest reachable vertices, ties broken by id.
+// A bounded max-heap keeps this O(n log k) with O(k) extra memory —
+// cached hot sources answer top-k requests without an O(n log n) sort.
+func nearestK(dist []float64, k int) []vertexDistance {
+	if k <= 0 {
+		return nil
+	}
+	// after reports whether a sorts after b (farther, or same distance
+	// with a larger id); the heap keeps the "worst kept" entry at h[0].
+	after := func(a, b vertexDistance) bool {
+		if a.Distance != b.Distance {
+			return a.Distance > b.Distance
+		}
+		return a.Vertex > b.Vertex
+	}
+	h := make([]vertexDistance, 0, k)
+	siftDown := func() {
+		i := 0
+		for {
+			l, r, worst := 2*i+1, 2*i+2, i
+			if l < len(h) && after(h[l], h[worst]) {
+				worst = l
+			}
+			if r < len(h) && after(h[r], h[worst]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			h[i], h[worst] = h[worst], h[i]
+			i = worst
+		}
+	}
+	for v, d := range dist {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		cand := vertexDistance{Vertex: int64(v), Distance: d}
+		if len(h) < k {
+			h = append(h, cand)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !after(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+		} else if after(h[0], cand) {
+			h[0] = cand
+			siftDown()
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return after(h[j], h[i]) })
+	return h
+}

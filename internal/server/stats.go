@@ -1,0 +1,53 @@
+package server
+
+import "sync/atomic"
+
+// counters aggregates server-wide activity. All fields are atomics so
+// handlers update them without locking.
+type counters struct {
+	reqDistances atomic.Int64
+	reqRoute     atomic.Int64
+	reqBatch     atomic.Int64
+	reqGraphs    atomic.Int64
+	reqStats     atomic.Int64
+
+	solves       atomic.Int64 // full SSSP solves executed by a backend
+	routeSolves  atomic.Int64 // early-terminated point-to-point solves
+	coalesced    atomic.Int64 // queries that piggybacked on an in-flight solve
+	batchSources atomic.Int64 // sources processed via /v1/batch
+	errors       atomic.Int64 // requests answered with a non-2xx status
+}
+
+// StatsSnapshot is the JSON body served by GET /v1/stats. The solve and
+// cache counters are the observable contract the tests rely on: N
+// concurrent identical queries must show solves == 1, and a repeated
+// source must raise hits without raising solves.
+type StatsSnapshot struct {
+	Requests      map[string]int64 `json:"requests"`
+	Solves        int64            `json:"solves"`
+	RouteSolves   int64            `json:"routeSolves"`
+	Coalesced     int64            `json:"coalesced"`
+	BatchSources  int64            `json:"batchSources"`
+	Errors        int64            `json:"errors"`
+	Cache         CacheStats       `json:"cache"`
+	Pool          PoolStats        `json:"pool"`
+	Flight        FlightStats      `json:"flight"`
+	SolvesByGraph map[string]int64 `json:"solvesByGraph"`
+}
+
+func (c *counters) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests: map[string]int64{
+			"distances": c.reqDistances.Load(),
+			"route":     c.reqRoute.Load(),
+			"batch":     c.reqBatch.Load(),
+			"graphs":    c.reqGraphs.Load(),
+			"stats":     c.reqStats.Load(),
+		},
+		Solves:       c.solves.Load(),
+		RouteSolves:  c.routeSolves.Load(),
+		Coalesced:    c.coalesced.Load(),
+		BatchSources: c.batchSources.Load(),
+		Errors:       c.errors.Load(),
+	}
+}

@@ -75,6 +75,41 @@ func (e Engine) String() string {
 	}
 }
 
+// ParseHeuristic maps a heuristic name (direct, greedy, dp) to its
+// value, the inverse of Heuristic.String. CLI tools and config loaders
+// should use this instead of a bare map lookup so typos fail loudly
+// rather than silently selecting the zero value.
+func ParseHeuristic(name string) (Heuristic, error) {
+	switch name {
+	case "direct":
+		return HeuristicDirect, nil
+	case "greedy":
+		return HeuristicGreedy, nil
+	case "dp":
+		return HeuristicDP, nil
+	default:
+		return HeuristicDirect, fmt.Errorf("radiusstep: unknown heuristic %q (want direct|greedy|dp)", name)
+	}
+}
+
+// ParseEngine maps an engine name to its value, accepting both the
+// String() names (auto, sequential, parallel, flat) and the short CLI
+// aliases (seq, par).
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "auto":
+		return EngineAuto, nil
+	case "seq", "sequential":
+		return EngineSequential, nil
+	case "par", "parallel":
+		return EngineParallel, nil
+	case "flat":
+		return EngineFlat, nil
+	default:
+		return EngineAuto, fmt.Errorf("radiusstep: unknown engine %q (want auto|seq|par|flat)", name)
+	}
+}
+
 // Options configures preprocessing and the solver.
 type Options struct {
 	// Rho is the ball size ρ (>= 1): each step settles about ρ vertices,
