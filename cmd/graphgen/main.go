@@ -1,9 +1,12 @@
-// Command graphgen emits generated graphs in the text or binary format,
-// for feeding cmd/sssp or external tools.
+// Command graphgen emits generated graphs for feeding cmd/sssp,
+// cmd/graphpack, or external tools. Output formats: the native text
+// format (default), DIMACS ".gr", a headerless edge list, or the
+// compact binary CSR.
 //
-// Example:
+// Examples:
 //
 //	graphgen -kind road -n 100000 -weights 10000 -o road.txt
+//	graphgen -kind road -n 100000 -format dimacs -o road.gr
 package main
 
 import (
@@ -21,9 +24,21 @@ func main() {
 	weights := flag.Int("weights", 0, "uniform integer weights in [1, W] (0 = unit/native)")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	out := flag.String("o", "-", "output file (- for stdout)")
-	binary := flag.Bool("binary", false, "write the binary CSR format")
+	format := flag.String("format", "text", "output format: text|dimacs|edgelist|binary")
+	binary := flag.Bool("binary", false, "write the binary CSR format (alias for -format binary)")
 	connected := flag.Bool("connected", true, "keep only the largest component")
 	flag.Parse()
+	if *binary {
+		*format = "binary"
+	}
+	// Validate before generating so a typo fails in microseconds, not
+	// after minutes of generation (and never truncates the output file).
+	switch *format {
+	case "text", "dimacs", "edgelist", "binary":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want text|dimacs|edgelist|binary)\n", *format)
+		os.Exit(2)
+	}
 
 	var g *rs.Graph
 	if *kind == "er" && *m > 0 {
@@ -54,14 +69,19 @@ func main() {
 		w = f
 	}
 	var err error
-	if *binary {
-		err = rs.WriteGraphBinary(w, g)
-	} else {
+	switch *format {
+	case "text":
 		err = rs.WriteGraph(w, g)
+	case "dimacs":
+		err = rs.WriteDIMACS(w, g)
+	case "edgelist":
+		err = rs.WriteEdgeList(w, g)
+	case "binary":
+		err = rs.WriteGraphBinary(w, g)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: n=%d m=%d\n", *kind, g.NumVertices(), g.NumEdges())
+	fmt.Fprintf(os.Stderr, "wrote %s: n=%d m=%d format=%s\n", *kind, g.NumVertices(), g.NumEdges(), *format)
 }

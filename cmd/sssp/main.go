@@ -34,7 +34,7 @@ func buildGraph(kind string, n int, seed uint64) *rs.Graph {
 func main() {
 	genKind := flag.String("gen", "", "generate a graph: grid2d|grid3d|road|web|er|rmat|smallworld|comb")
 	n := flag.Int("n", 100000, "approximate vertex count for -gen")
-	in := flag.String("in", "", "read a text graph instead of generating")
+	in := flag.String("in", "", "read a graph file instead of generating (format auto-detected)")
 	weights := flag.Int("weights", 0, "assign uniform integer weights in [1, W] (0 = keep)")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	src := flag.Int("src", 0, "source vertex")
@@ -50,15 +50,11 @@ func main() {
 	var g *rs.Graph
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fail("open: %v", err)
-		}
-		defer f.Close()
-		g2, err := rs.ReadGraph(f)
+		g2, format, err := rs.LoadGraphFile(*in)
 		if err != nil {
 			fail("parse: %v", err)
 		}
+		fmt.Printf("loaded %s (%s)\n", *in, format)
 		g = g2
 	case *genKind != "":
 		g = buildGraph(*genKind, *n, *seed)

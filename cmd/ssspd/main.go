@@ -3,11 +3,19 @@
 // solver, and serves HTTP/JSON queries with request coalescing, a
 // bounded solve pool, and a source-keyed distance cache.
 //
+// Graph sources: gen=FAMILY generates in-process; file=PATH ingests any
+// auto-detected format (native text, DIMACS ".gr", headerless edge
+// list, binary CSR); snapshot=PATH loads a cmd/graphpack snapshot whose
+// persisted radii skip preprocessing entirely — the fast cold-start
+// path for production restarts; pre=PATH loads a WritePreprocessed
+// bundle.
+//
 // Examples:
 //
 //	ssspd -graph road=gen=road,n=200000,weights=10000,rho=64 -listen :8517
+//	ssspd -graph ny=snapshot=ny.snap -cache-mb 512     # no preprocessing
+//	ssspd -graph g=file=USA-road-d.NY.gr,rho=64 -workers 8
 //	ssspd -config deploy.json
-//	ssspd -graph g=file=graph.txt,rho=32 -cache-mb 512 -workers 8
 //	ssspd -selftest -selftest-queries 5000
 //
 // Config file format (JSON):
@@ -60,7 +68,7 @@ func fail(format string, args ...any) {
 
 func main() {
 	var graphSpecs multiFlag
-	flag.Var(&graphSpecs, "graph", "load a graph: name=gen=road,n=50000,rho=64 | name=file=PATH | name=pre=PATH (repeatable)")
+	flag.Var(&graphSpecs, "graph", "load a graph: name=gen=road,n=50000,rho=64 | name=file=PATH | name=snapshot=PATH | name=pre=PATH (repeatable)")
 	configPath := flag.String("config", "", "JSON config file (see package doc)")
 	listen := flag.String("listen", ":8517", "HTTP listen address")
 	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
@@ -126,9 +134,10 @@ func main() {
 		if err := reg.Add(entry); err != nil {
 			fail("%v", err)
 		}
-		log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts (%v)",
+		log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts radii=%s source=%s (%v)",
 			entry.Name, entry.Info.Vertices, entry.Info.Edges, entry.Info.Rho,
-			entry.Info.K, entry.Info.ShortcutsAdded, time.Since(t0).Round(time.Millisecond))
+			entry.Info.K, entry.Info.ShortcutsAdded, entry.Info.RadiiSource,
+			entry.Info.Source, time.Since(t0).Round(time.Millisecond))
 	}
 
 	srv := server.New(reg, server.Config{

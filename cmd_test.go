@@ -28,7 +28,7 @@ func buildCLIs(t *testing.T) string {
 		if cliErr != nil {
 			return
 		}
-		for _, tool := range []string{"radius-bench", "sssp", "graphgen", "ssspd"} {
+		for _, tool := range []string{"radius-bench", "sssp", "graphgen", "graphpack", "ssspd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -155,5 +155,64 @@ func TestCLIGraphgenAndSsspFile(t *testing.T) {
 	out, err = runCLI(t, dir, "graphgen", "-kind", "grid2d", "-n", "100", "-binary", "-o", filepath.Join(dir, "g.bin"))
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
+	}
+}
+
+// The production cold-start pipeline: generate a DIMACS file, pack it
+// into a snapshot (preprocessing paid once), then serve it — ssspd must
+// report the radii came from the snapshot, not a startup preprocess.
+func TestCLIGraphpackSnapshotColdStart(t *testing.T) {
+	dir := buildCLIs(t)
+	gr := filepath.Join(dir, "pack.gr")
+	out, err := runCLI(t, dir, "graphgen", "-kind", "grid2d", "-n", "900", "-weights", "100", "-format", "dimacs", "-o", gr)
+	if err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, out)
+	}
+	snap := filepath.Join(dir, "pack.snap")
+	out, err = runCLI(t, dir, "graphpack", "-in", gr, "-rho", "8", "-o", snap)
+	if err != nil {
+		t.Fatalf("graphpack: %v\n%s", err, out)
+	}
+	for _, want := range []string{"(dimacs)", "radii=yes", "wrote " + snap} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in graphpack summary:\n%s", want, out)
+		}
+	}
+	out, err = runCLI(t, dir, "ssspd", "-graph", "packed=snapshot="+snap,
+		"-selftest", "-selftest-queries", "40", "-selftest-clients", "4")
+	if err != nil {
+		t.Fatalf("ssspd: %v\n%s", err, out)
+	}
+	for _, want := range []string{"radii=snapshot", "failures=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in ssspd output:\n%s", want, out)
+		}
+	}
+	// sssp also ingests the snapshot (and the DIMACS file) directly.
+	out, err = runCLI(t, dir, "sssp", "-in", snap, "-algo", "radius", "-rho", "8", "-verify")
+	if err != nil || !strings.Contains(out, "certificate OK") {
+		t.Fatalf("sssp on snapshot: %v\n%s", err, out)
+	}
+	// Re-packing a snapshot with new parameters recovers the true
+	// original graph (not the augmented one) before preprocessing again.
+	out, err = runCLI(t, dir, "graphpack", "-in", snap, "-rho", "4", "-o", filepath.Join(dir, "repack.snap"))
+	if err != nil || !strings.Contains(out, "(snapshot)") {
+		t.Fatalf("re-pack failed: %v\n%s", err, out)
+	}
+	// The 30×30 grid has exactly 1740 edges; seeing that count proves
+	// the re-pack loaded the original, not the augmented graph.
+	if !strings.Contains(out, "n=900 m=1740") {
+		t.Fatalf("re-pack did not start from the original graph:\n%s", out)
+	}
+	// Preprocessing knobs on a packed snapshot must fail loudly.
+	if _, err := runCLI(t, dir, "ssspd", "-graph", "p=snapshot="+snap+",rho=16", "-selftest"); err == nil {
+		t.Fatal("baked-in rho override accepted")
+	}
+	// graphpack refuses ambiguous or incomplete invocations.
+	if _, err := runCLI(t, dir, "graphpack", "-in", gr); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+	if _, err := runCLI(t, dir, "graphpack", "-in", gr, "-gen", "road", "-o", snap); err == nil {
+		t.Fatal("both -in and -gen accepted")
 	}
 }

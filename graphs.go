@@ -3,6 +3,7 @@ package radiusstep
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"radiusstep/internal/baseline"
 	"radiusstep/internal/check"
@@ -69,6 +70,94 @@ func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
 // WriteGraphBinary serializes g in the compact binary CSR format.
 func WriteGraphBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// GraphFormat identifies one of the supported interchange formats.
+type GraphFormat = graph.Format
+
+// The graph interchange formats, as detected by DetectGraphFormat and
+// named by GraphFormat.String: the native text format, DIMACS ".gr",
+// headerless edge lists, binary CSR, and preprocessed snapshots.
+const (
+	FormatUnknown  = graph.FormatUnknown
+	FormatText     = graph.FormatText
+	FormatDIMACS   = graph.FormatDIMACS
+	FormatEdgeList = graph.FormatEdgeList
+	FormatBinary   = graph.FormatBinary
+	FormatSnapshot = graph.FormatSnapshot
+)
+
+// DetectGraphFormat sniffs a format from the first bytes of a file.
+func DetectGraphFormat(prefix []byte) GraphFormat { return graph.Detect(prefix) }
+
+// ReadGraphAuto detects the format of r and parses it. For a snapshot it
+// returns the real input graph (the preserved original when present, so
+// shortcut edges are never mistaken for real ones); use ReadSnapshot to
+// also recover the persisted radii and the augmented graph.
+func ReadGraphAuto(r io.Reader) (*Graph, GraphFormat, error) { return graph.ReadAuto(r) }
+
+// LoadGraphFile opens path and parses it with format auto-detection,
+// with the same snapshot semantics as ReadGraphAuto. Snapshots take the
+// sized read path, so a corrupted header's declared sizes are checked
+// against the actual file length before any array allocation.
+func LoadGraphFile(path string) (*Graph, GraphFormat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	defer f.Close()
+	prefix := make([]byte, 8)
+	n, _ := io.ReadFull(f, prefix)
+	if DetectGraphFormat(prefix[:n]) == FormatSnapshot {
+		s, _, serr := graph.ReadSnapshotFile(path)
+		if serr != nil {
+			return nil, FormatSnapshot, serr
+		}
+		if s.Original != nil {
+			return s.Original, FormatSnapshot, nil
+		}
+		return s.G, FormatSnapshot, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, FormatUnknown, err
+	}
+	return graph.ReadAuto(f)
+}
+
+// ReadDIMACS parses the DIMACS shortest-path format ("p sp n m" header,
+// 1-indexed "a u v w" arc lines) — the format of the DIMACS road
+// networks real-workload evaluations are driven by.
+func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
+
+// WriteDIMACS serializes g in the DIMACS shortest-path format.
+func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+
+// ReadEdgeList parses a headerless "u v [w]" edge list (SNAP-style).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList serializes g as tab-separated "u v w" lines.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// --- snapshots ------------------------------------------------------------
+
+// Snapshot is the versioned, checksummed binary persistence unit: a CSR
+// graph plus optional per-vertex radii, the pre-shortcut original graph,
+// and the preprocessing parameters. Produce one with NewSnapshot (or
+// cmd/graphpack) and turn it back into a query object with
+// SolverFromSnapshot — paying the paper's Step 1 once per graph rather
+// than once per process start.
+type Snapshot = graph.Snapshot
+
+// WriteSnapshot serializes s in the snapshot format.
+func WriteSnapshot(w io.Writer, s *Snapshot) error { return graph.WriteSnapshot(w, s) }
+
+// ReadSnapshot parses a snapshot, verifying its checksum and invariants.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return graph.ReadSnapshot(r) }
+
+// WriteSnapshotFile atomically writes s to path (temp file + rename).
+func WriteSnapshotFile(path string, s *Snapshot) error { return graph.WriteSnapshotFile(path, s) }
+
+// ReadSnapshotFile loads the snapshot at path and reports its file size.
+func ReadSnapshotFile(path string) (*Snapshot, int64, error) { return graph.ReadSnapshotFile(path) }
 
 // --- generators ----------------------------------------------------------
 

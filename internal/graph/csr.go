@@ -7,6 +7,32 @@
 // edge {u, v, w} is stored as two directed arcs. Edge weights are
 // non-negative float64 values; following the paper, graphs are normalized
 // so the lightest non-zero weight is 1, and L denotes the heaviest weight.
+//
+// # Interchange formats
+//
+// The package reads and writes five formats, auto-detected by ReadAuto:
+//
+//   - text (ReadText/WriteText): "p sssp n m" header, 0-indexed
+//     "u v w" edge lines — the repo's native interchange format.
+//   - dimacs (ReadDIMACS/WriteDIMACS): the DIMACS shortest-path format
+//     used by the road-network challenge instances ("p sp n m" header,
+//     1-indexed "a u v w" arc lines).
+//   - edgelist (ReadEdgeList/WriteEdgeList): headerless whitespace/TSV
+//     "u v [w]" lines, the SNAP/web-graph convention; weight defaults
+//     to 1.
+//   - binary (ReadBinary/WriteBinary): compact binary CSR.
+//   - snapshot (ReadSnapshot/WriteSnapshot): the versioned, checksummed
+//     persistence format. A snapshot carries the CSR arrays and, when
+//     produced by preprocessing, the per-vertex radii, the pre-shortcut
+//     original graph, and the (ρ, k, heuristic) parameters — everything
+//     a serving process needs to answer queries without re-running the
+//     O(m log n + nρ²) preprocessing phase. See Snapshot for the exact
+//     byte layout.
+//
+// All parsers reject NaN, infinite, and negative weights at parse time
+// with the offending line number; the binary readers validate magic,
+// sizes, and structural invariants, and the snapshot reader additionally
+// verifies a CRC-32C checksum so corruption fails loudly at load time.
 package graph
 
 import "math"

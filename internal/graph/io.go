@@ -70,10 +70,10 @@ func ReadText(r io.Reader) (*CSR, error) {
 			return nil, fmt.Errorf("graph: bad weight at line %d: %v", line, err)
 		}
 		if u < 0 || v < 0 || u >= int64(n) || v >= int64(n) {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range at line %d", u, v, line)
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0, %d) at line %d", u, v, n, line)
 		}
-		if w < 0 {
-			return nil, fmt.Errorf("graph: negative weight at line %d", line)
+		if err := checkWeight(w, line); err != nil {
+			return nil, err
 		}
 		edges = append(edges, Edge{V(u), V(v), w})
 	}
@@ -84,7 +84,7 @@ func ReadText(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("graph: missing header")
 	}
 	if len(edges) != m {
-		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, len(edges))
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d (last line %d)", m, len(edges), line)
 	}
 	return FromEdges(n, edges), nil
 }

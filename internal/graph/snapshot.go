@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot is the on-disk unit of graph persistence: a CSR graph plus,
+// optionally, the artifacts of (k, ρ)-preprocessing — the per-vertex
+// radii and the pre-shortcut original graph — and the parameters they
+// were produced with. A snapshot whose Radii are present lets a serving
+// process skip preprocessing entirely on startup: Step 1 of the paper is
+// paid once by the packer and amortized across every process that loads
+// the file.
+//
+// Layout (all integers little-endian; see WriteSnapshot):
+//
+//	magic    uint64  "RSSNAP01"
+//	version  uint32  currently 1
+//	flags    uint32  bit 0: radii present; bit 1: original graph present
+//	n        uint64  vertex count
+//	arcs     uint64  arc count of G (2m)
+//	origArcs uint64  arc count of Original (0 when absent)
+//	rho      uint32  ρ used to derive the radii (0 = not preprocessed)
+//	k        uint32  hop budget k (0 = not preprocessed)
+//	hlen     uint32  length of the heuristic name
+//	heuristic [hlen]byte
+//	Off      [n+1]int64
+//	Adj      [arcs]int32
+//	W        [arcs]float64
+//	Radii    [n]float64         (iff flag bit 0)
+//	origOff  [n+1]int64         (iff flag bit 1)
+//	origAdj  [origArcs]int32    (iff flag bit 1)
+//	origW    [origArcs]float64  (iff flag bit 1)
+//	checksum uint32  CRC-32C (Castagnoli) of everything above
+//
+// Arrays are written and read as whole slices with encoding/binary, so a
+// multi-million-edge graph loads in milliseconds rather than the seconds
+// a line-by-line text parse takes.
+type Snapshot struct {
+	// G is the query graph. When Original is present, G is the augmented
+	// (k, ρ)-graph (input plus shortcut edges).
+	G *CSR
+	// Original is the pre-shortcut input graph, kept so path
+	// reconstruction can return routes over real edges only. Optional.
+	Original *CSR
+	// Radii holds r_ρ(v) for every vertex of G. Optional: a snapshot
+	// written by a pure format conversion has none, and the loader must
+	// preprocess. When present, len(Radii) == G.NumVertices().
+	Radii []float64
+	// Rho and K record the preprocessing parameters the radii were
+	// derived with (zero when Radii is nil).
+	Rho, K int
+	// Heuristic names the shortcut heuristic ("direct", "greedy", "dp";
+	// empty when Radii is nil).
+	Heuristic string
+}
+
+const (
+	snapMagic   = uint64(0x313050414E535352) // "RSSNAP01", little-endian
+	snapVersion = uint32(1)
+
+	snapFlagRadii    = uint32(1 << 0)
+	snapFlagOriginal = uint32(1 << 1)
+	snapKnownFlags   = snapFlagRadii | snapFlagOriginal
+
+	maxHeuristicLen = 64
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot serializes s in the versioned binary snapshot format,
+// including a trailing CRC-32C checksum over the full header and payload.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	if s == nil || s.G == nil {
+		return fmt.Errorf("graph: nil snapshot")
+	}
+	n := s.G.NumVertices()
+	if s.Radii != nil && len(s.Radii) != n {
+		return fmt.Errorf("graph: snapshot radii length %d != n %d", len(s.Radii), n)
+	}
+	if s.Original != nil && s.Original.NumVertices() != n {
+		return fmt.Errorf("graph: snapshot original has %d vertices, graph has %d", s.Original.NumVertices(), n)
+	}
+	if len(s.Heuristic) > maxHeuristicLen {
+		return fmt.Errorf("graph: snapshot heuristic name too long (%d bytes)", len(s.Heuristic))
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	crc := crc32.New(snapCRC)
+	out := io.MultiWriter(bw, crc) // checksum everything except the trailer
+
+	flags := uint32(0)
+	if s.Radii != nil {
+		flags |= snapFlagRadii
+	}
+	origArcs := 0
+	if s.Original != nil {
+		flags |= snapFlagOriginal
+		origArcs = s.Original.NumArcs()
+	}
+	head := []any{
+		snapMagic, snapVersion, flags,
+		uint64(n), uint64(s.G.NumArcs()), uint64(origArcs),
+		uint32(s.Rho), uint32(s.K), uint32(len(s.Heuristic)),
+	}
+	for _, h := range head {
+		if err := binary.Write(out, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if _, err := out.Write([]byte(s.Heuristic)); err != nil {
+		return err
+	}
+	sections := []any{s.G.Off, s.G.Adj, s.G.W}
+	if s.Radii != nil {
+		sections = append(sections, s.Radii)
+	}
+	if s.Original != nil {
+		sections = append(sections, s.Original.Off, s.Original.Adj, s.Original.W)
+	}
+	for _, sec := range sections {
+		if err := binary.Write(out, binary.LittleEndian, sec); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses a snapshot, verifying the magic, version, checksum,
+// and every structural invariant of the embedded arrays. Corruption —
+// truncation, bit flips, implausible sizes — fails loudly rather than
+// producing a graph that misbehaves later.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	return readSnapshotSized(r, 0)
+}
+
+// readSnapshotSized is ReadSnapshot with an optional total-size bound:
+// when maxBytes > 0 the header-declared array sizes are checked against
+// it BEFORE any allocation, so a bit-flipped size field in a file of
+// known length is rejected immediately instead of attempting a
+// many-GiB allocation the checksum pass would never reach.
+func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	crc := crc32.New(snapCRC)
+	in := io.TeeReader(br, crc) // mirror checksummed bytes into the CRC
+
+	var magic uint64
+	if err := binary.Read(in, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("graph: bad snapshot magic %#x", magic)
+	}
+	var version, flags uint32
+	var n, arcs, origArcs uint64
+	var rho, k, hlen uint32
+	for _, p := range []any{&version, &flags, &n, &arcs, &origArcs, &rho, &k, &hlen} {
+		if err := binary.Read(in, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: snapshot header: %w", err)
+		}
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d (want %d)", version, snapVersion)
+	}
+	if flags&^snapKnownFlags != 0 {
+		return nil, fmt.Errorf("graph: unknown snapshot flags %#x", flags)
+	}
+	const maxReasonable = 1 << 34
+	if n > maxReasonable || arcs > maxReasonable || origArcs > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible snapshot sizes n=%d arcs=%d origArcs=%d", n, arcs, origArcs)
+	}
+	if flags&snapFlagOriginal == 0 && origArcs != 0 {
+		return nil, fmt.Errorf("graph: snapshot declares %d original arcs without the original-graph flag", origArcs)
+	}
+	if hlen > maxHeuristicLen {
+		return nil, fmt.Errorf("graph: implausible heuristic name length %d", hlen)
+	}
+	if maxBytes > 0 {
+		need := int64(52) + int64(hlen) + int64(n+1)*8 + int64(arcs)*12 + 4
+		if flags&snapFlagRadii != 0 {
+			need += int64(n) * 8
+		}
+		if flags&snapFlagOriginal != 0 {
+			need += int64(n+1)*8 + int64(origArcs)*12
+		}
+		if need != maxBytes {
+			return nil, fmt.Errorf("graph: snapshot header declares %d bytes but file has %d", need, maxBytes)
+		}
+	}
+	hbuf := make([]byte, hlen)
+	if _, err := io.ReadFull(in, hbuf); err != nil {
+		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+	}
+
+	s := &Snapshot{
+		Rho:       int(rho),
+		K:         int(k),
+		Heuristic: string(hbuf),
+	}
+	var err error
+	if s.G, err = readSnapshotCSR(in, int(n), int(arcs)); err != nil {
+		return nil, err
+	}
+	if flags&snapFlagRadii != 0 {
+		s.Radii = make([]float64, n)
+		if err := binary.Read(in, binary.LittleEndian, s.Radii); err != nil {
+			return nil, fmt.Errorf("graph: snapshot radii: %w", err)
+		}
+		for _, rad := range s.Radii {
+			// The radii-persistence contract: non-negative finite values
+			// only (see internal/preprocess).
+			if math.IsNaN(rad) || math.IsInf(rad, 0) || rad < 0 {
+				return nil, fmt.Errorf("graph: snapshot has invalid radius %v", rad)
+			}
+		}
+	}
+	if flags&snapFlagOriginal != 0 {
+		if s.Original, err = readSnapshotCSR(in, int(n), int(origArcs)); err != nil {
+			return nil, err
+		}
+	}
+
+	sum := crc.Sum32() // everything checksummed so far; trailer comes off br directly
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("graph: snapshot checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("graph: snapshot checksum mismatch: computed %#x, stored %#x", sum, want)
+	}
+	return s, nil
+}
+
+// readSnapshotCSR reads one CSR section and validates its invariants.
+func readSnapshotCSR(r io.Reader, n, arcs int) (*CSR, error) {
+	g := &CSR{
+		Off: make([]int64, n+1),
+		Adj: make([]V, arcs),
+		W:   make([]float64, arcs),
+	}
+	for _, sec := range []any{g.Off, g.Adj, g.W} {
+		if err := binary.Read(r, binary.LittleEndian, sec); err != nil {
+			return nil, fmt.Errorf("graph: snapshot arrays: %w", err)
+		}
+	}
+	if g.Off[0] != 0 || g.Off[n] != int64(arcs) {
+		return nil, fmt.Errorf("graph: snapshot offsets corrupt: Off[0]=%d Off[n]=%d arcs=%d", g.Off[0], g.Off[n], arcs)
+	}
+	for u := 0; u < n; u++ {
+		if g.Off[u] > g.Off[u+1] {
+			return nil, fmt.Errorf("graph: snapshot offsets not monotone at vertex %d", u)
+		}
+	}
+	for i, v := range g.Adj {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: snapshot arc target %d out of range [0, %d)", v, n)
+		}
+		if w := g.W[i]; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("graph: snapshot has invalid weight %v", g.W[i])
+		}
+	}
+	return g, nil
+}
+
+// WriteSnapshotFile writes s to path via a temporary file and rename, so
+// a crash mid-write never leaves a truncated snapshot behind.
+func WriteSnapshotFile(path string, s *Snapshot) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp's restrictive 0600 would survive the rename; snapshots
+	// are data files read by other users (e.g. a daemon service account).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadSnapshotFile loads the snapshot at path and reports its file size.
+func ReadSnapshotFile(path string) (*Snapshot, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := readSnapshotSized(f, st.Size())
+	if err != nil {
+		return nil, 0, fmt.Errorf("graph: snapshot %s: %w", path, err)
+	}
+	return s, st.Size(), nil
+}

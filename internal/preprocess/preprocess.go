@@ -9,6 +9,18 @@
 // paper's experimental setup (§5.1). On each ball's shortest-path tree the
 // package can apply direct (1, ρ) shortcutting, the greedy level heuristic
 // (§4.2.1), or the dynamic-programming heuristic (§4.2.2).
+//
+// # Radii persistence contract
+//
+// Run's outputs — the augmented graph and the radii vector — are pure
+// functions of (input graph, Rho, K, Heuristic) and contain everything a
+// query engine needs; no preprocessing state survives outside them. They
+// are therefore safe to persist (internal/graph's snapshot format stores
+// both, plus the parameters, under a checksum) and reload in another
+// process without re-running this package. Correctness of a reloaded
+// radii vector only requires non-negative finite entries — the engines
+// accept any such radii; the (k, ρ) property merely bounds the number of
+// substeps per step — so loaders validate values, not provenance.
 package preprocess
 
 import (

@@ -34,7 +34,7 @@ type distCache struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
-	order  *list.List               // front = most recently used
+	order  *list.List // front = most recently used
 	items  map[cacheKey]*list.Element
 
 	hits, misses, evictions int64

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"os"
 	"sort"
@@ -23,6 +24,15 @@ type Backend interface {
 	Path(src, dst rs.Vertex) ([]rs.Vertex, float64, error)
 }
 
+// RadiiSource values: where a graph's radii came from at load time. The
+// snapshot value is the observable contract that the registry skipped
+// preprocessing and reused persisted radii.
+const (
+	RadiiComputed     = "computed"
+	RadiiFromSnapshot = "snapshot"
+	RadiiFromBundle   = "bundle"
+)
+
 // GraphInfo is the registry metadata served by GET /v1/graphs.
 type GraphInfo struct {
 	Name             string  `json:"name"`
@@ -36,6 +46,18 @@ type GraphInfo struct {
 	MaxWeight        float64 `json:"maxWeight"`
 	PreprocessMillis int64   `json:"preprocessMillis"`
 	Source           string  `json:"source"`
+	// Format names the on-disk format the graph was loaded from
+	// (text, dimacs, edgelist, binary, snapshot) or "gen".
+	Format string `json:"format,omitempty"`
+	// RadiiSource reports whether the (k, ρ)-radii were computed at
+	// startup or loaded from persistence (RadiiComputed, RadiiFromSnapshot,
+	// RadiiFromBundle).
+	RadiiSource string `json:"radiiSource,omitempty"`
+	// SnapshotBytes is the on-disk size of the loaded snapshot/bundle.
+	SnapshotBytes int64 `json:"snapshotBytes,omitempty"`
+	// ColdStartMillis is the total load time — file read plus any
+	// preprocessing — from BuildEntry start to a query-ready solver.
+	ColdStartMillis int64 `json:"coldStartMillis"`
 }
 
 // Entry binds a name to a query backend and its metadata.
@@ -136,18 +158,23 @@ func NewSolverEntry(name string, solver *rs.Solver, opt rs.Options, source strin
 			MaxWeight:        g.MaxWeight(),
 			PreprocessMillis: prepTime.Milliseconds(),
 			Source:           source,
+			RadiiSource:      RadiiComputed,
+			ColdStartMillis:  prepTime.Milliseconds(),
 		},
 	}
 }
 
 // GraphConfig describes one graph to load: exactly one of Gen (a
-// generator family name), File (a text edge-list path), or Pre (a
-// preprocessed bundle written by radiusstep.WritePreprocessed) must be
-// set. The remaining fields tune generation and preprocessing.
+// generator family name), File (a graph file in any auto-detected
+// format), Snapshot (a cmd/graphpack snapshot), or Pre (a preprocessed
+// bundle written by radiusstep.WritePreprocessed) must be set. The
+// remaining fields tune generation and preprocessing; they are rejected
+// for sources whose preprocessing is already persisted.
 type GraphConfig struct {
 	Name      string `json:"name"`
 	Gen       string `json:"gen,omitempty"`
 	File      string `json:"file,omitempty"`
+	Snapshot  string `json:"snapshot,omitempty"`
 	Pre       string `json:"pre,omitempty"`
 	N         int    `json:"n,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
@@ -161,7 +188,8 @@ type GraphConfig struct {
 // ParseGraphSpec parses the -graph flag form
 //
 //	name=gen=road,n=50000,weights=10000,rho=64
-//	name=file=/data/g.txt,rho=32
+//	name=file=/data/g.gr,rho=32
+//	name=snapshot=/data/g.snap
 //	name=pre=/data/g.pre
 //
 // into a GraphConfig. Unknown keys are an error, matching the
@@ -184,6 +212,8 @@ func ParseGraphSpec(spec string) (GraphConfig, error) {
 			cfg.Gen = v
 		case "file":
 			cfg.File = v
+		case "snapshot":
+			cfg.Snapshot = v
 		case "pre":
 			cfg.Pre = v
 		case "n":
@@ -210,20 +240,24 @@ func ParseGraphSpec(spec string) (GraphConfig, error) {
 	return cfg, nil
 }
 
-// BuildEntry loads or generates the graph described by cfg, preprocesses
-// it, and returns a ready registry entry.
+// BuildEntry loads or generates the graph described by cfg and returns a
+// ready registry entry. For gen/file sources it preprocesses at startup;
+// for snapshot and bundle sources carrying persisted radii it skips
+// preprocessing entirely (the registry's fast cold-start path) and the
+// entry's Info reports RadiiSource, the snapshot size, and the total
+// cold-start time.
 func BuildEntry(cfg GraphConfig) (*Entry, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("server: graph config needs a name")
 	}
 	srcs := 0
-	for _, s := range []string{cfg.Gen, cfg.File, cfg.Pre} {
+	for _, s := range []string{cfg.Gen, cfg.File, cfg.Snapshot, cfg.Pre} {
 		if s != "" {
 			srcs++
 		}
 	}
 	if srcs != 1 {
-		return nil, fmt.Errorf("server: graph %q: exactly one of gen|file|pre required", cfg.Name)
+		return nil, fmt.Errorf("server: graph %q: exactly one of gen|file|snapshot|pre required", cfg.Name)
 	}
 
 	opt := rs.Options{Rho: cfg.Rho, K: cfg.K}
@@ -243,45 +277,83 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 	}
 
 	start := time.Now()
-	var (
-		solver *rs.Solver
-		source string
-		err    error
-	)
 	switch {
 	case cfg.Pre != "":
 		// The bundle was preprocessed elsewhere: rho/k/heuristic are
 		// baked in and unknown here, so accepting them would silently
 		// do nothing while /v1/graphs echoed them back as truth.
-		if cfg.Rho != 0 || cfg.K != 0 || cfg.Heuristic != "" {
-			return nil, fmt.Errorf("server: graph %q: rho/k/heuristic do not apply to a preprocessed bundle", cfg.Name)
+		if cfg.Rho != 0 || cfg.K != 0 || cfg.Heuristic != "" || cfg.Weights != 0 {
+			return nil, fmt.Errorf("server: graph %q: rho/k/heuristic/weights do not apply to a preprocessed bundle", cfg.Name)
 		}
 		f, ferr := os.Open(cfg.Pre)
 		if ferr != nil {
 			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, ferr)
 		}
 		defer f.Close()
+		st, _ := f.Stat()
 		pre, perr := rs.ReadPreprocessed(f)
 		if perr != nil {
 			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, perr)
 		}
-		solver, err = rs.NewSolverPre(pre, opt.Engine)
-		source = "pre:" + cfg.Pre
+		solver, err := rs.NewSolverPre(pre, opt.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		// A bundle does not record its preprocessing parameters; report
+		// them as unknown (zero) rather than inventing defaults.
+		entry := NewSolverEntry(cfg.Name, solver, rs.Options{Engine: opt.Engine}, "pre:"+cfg.Pre, 0)
+		entry.Info.Rho, entry.Info.K, entry.Info.Heuristic = 0, 0, ""
+		entry.Info.Format = "pre"
+		entry.Info.RadiiSource = RadiiFromBundle
+		if st != nil {
+			entry.Info.SnapshotBytes = st.Size()
+		}
+		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
+		return entry, nil
+
+	case cfg.Snapshot != "":
+		snap, size, err := rs.ReadSnapshotFile(cfg.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		return buildFromSnapshot(cfg, opt, snap, size, "snapshot:"+cfg.Snapshot, start)
+
 	case cfg.File != "":
 		f, ferr := os.Open(cfg.File)
 		if ferr != nil {
 			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, ferr)
 		}
 		defer f.Close()
-		g, gerr := rs.ReadGraph(f)
+		br := bufio.NewReaderSize(f, 1<<20)
+		// A file= pointing at a snapshot gets the full snapshot treatment
+		// (persisted radii and all), not a silent graph-only load. The
+		// magic fits in 8 bytes; a short or unreadable prefix simply
+		// falls through to ReadGraphAuto, which reports the real error.
+		prefix, _ := br.Peek(8)
+		if rs.DetectGraphFormat(prefix) == rs.FormatSnapshot {
+			snap, size, serr := rs.ReadSnapshotFile(cfg.File)
+			if serr != nil {
+				return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, serr)
+			}
+			return buildFromSnapshot(cfg, opt, snap, size, "file:"+cfg.File, start)
+		}
+		g, format, gerr := rs.ReadGraphAuto(br)
 		if gerr != nil {
 			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, gerr)
 		}
 		if cfg.Weights > 0 {
 			g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
 		}
-		solver, err = rs.NewSolver(g, opt)
-		source = "file:" + cfg.File
+		prep := time.Now()
+		solver, err := rs.NewSolver(g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		entry := NewSolverEntry(cfg.Name, solver, opt.WithDefaults(), "file:"+cfg.File, time.Since(prep))
+		entry.Info.Format = format.String()
+		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
+		return entry, nil
+
 	default:
 		n := cfg.N
 		if n == 0 {
@@ -294,28 +366,55 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 		if cfg.Weights > 0 {
 			g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
 		}
-		solver, err = rs.NewSolver(g, opt)
-		source = fmt.Sprintf("gen:%s,n=%d,seed=%d", cfg.Gen, n, cfg.Seed)
+		prep := time.Now()
+		solver, err := rs.NewSolver(g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		source := fmt.Sprintf("gen:%s,n=%d,seed=%d", cfg.Gen, n, cfg.Seed)
+		entry := NewSolverEntry(cfg.Name, solver, opt.WithDefaults(), source, time.Since(prep))
+		entry.Info.Format = "gen"
+		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
+		return entry, nil
 	}
+}
+
+// buildFromSnapshot turns a loaded snapshot into a registry entry. When
+// the snapshot carries radii, preprocessing is skipped entirely: the
+// persisted radii (and augmented graph) go straight into a solver, and
+// the entry reports RadiiFromSnapshot. A graph-only snapshot (no radii)
+// is preprocessed like any other loaded graph.
+func buildFromSnapshot(cfg GraphConfig, opt rs.Options, snap *rs.Snapshot, size int64, source string, start time.Time) (*Entry, error) {
+	if snap.Radii != nil {
+		// Preprocessing knobs cannot apply when its output is persisted;
+		// accepting them would silently do nothing.
+		if cfg.Rho != 0 || cfg.K != 0 || cfg.Heuristic != "" || cfg.Weights != 0 {
+			return nil, fmt.Errorf("server: graph %q: rho/k/heuristic/weights are baked into a preprocessed snapshot", cfg.Name)
+		}
+		solver, err := rs.SolverFromSnapshot(snap, opt.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		entry := NewSolverEntry(cfg.Name, solver, rs.Options{Engine: opt.Engine}, source, 0)
+		entry.Info.Rho, entry.Info.K, entry.Info.Heuristic = snap.Rho, snap.K, snap.Heuristic
+		entry.Info.Format = "snapshot"
+		entry.Info.RadiiSource = RadiiFromSnapshot
+		entry.Info.SnapshotBytes = size
+		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
+		return entry, nil
+	}
+	g := snap.G
+	if cfg.Weights > 0 {
+		g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+	}
+	prep := time.Now()
+	solver, err := rs.NewSolver(g, opt)
 	if err != nil {
 		return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
 	}
-	if cfg.Pre != "" {
-		// A bundle does not record its preprocessing parameters; report
-		// them as unknown (zero) rather than inventing defaults.
-		entry := NewSolverEntry(cfg.Name, solver, rs.Options{Engine: opt.Engine}, source, time.Since(start))
-		entry.Info.Rho, entry.Info.K, entry.Info.Heuristic = 0, 0, ""
-		return entry, nil
-	}
-	// Report the effective options: NewSolver applies the same defaults.
-	if opt.Rho == 0 {
-		opt.Rho = 32
-	}
-	if opt.K == 0 {
-		opt.K = 1
-	}
-	if opt.K > 1 && opt.Heuristic == rs.HeuristicDirect {
-		opt.Heuristic = rs.HeuristicDP
-	}
-	return NewSolverEntry(cfg.Name, solver, opt, source, time.Since(start)), nil
+	entry := NewSolverEntry(cfg.Name, solver, opt.WithDefaults(), source, time.Since(prep))
+	entry.Info.Format = "snapshot"
+	entry.Info.SnapshotBytes = size
+	entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
+	return entry, nil
 }

@@ -26,17 +26,17 @@ type SmokeConfig struct {
 
 // SmokeReport summarizes one LoadSmoke run.
 type SmokeReport struct {
-	Graph     string        `json:"graph"`
-	Queries   int           `json:"queries"`
-	Clients   int           `json:"clients"`
-	Failures  int           `json:"failures"`
-	Elapsed   time.Duration `json:"-"`
-	QPS       float64       `json:"qps"`
-	P50       time.Duration `json:"-"`
-	P90       time.Duration `json:"-"`
-	P99       time.Duration `json:"-"`
-	Max       time.Duration `json:"-"`
-	Stats     StatsSnapshot `json:"stats"`
+	Graph    string        `json:"graph"`
+	Queries  int           `json:"queries"`
+	Clients  int           `json:"clients"`
+	Failures int           `json:"failures"`
+	Elapsed  time.Duration `json:"-"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"-"`
+	P90      time.Duration `json:"-"`
+	P99      time.Duration `json:"-"`
+	Max      time.Duration `json:"-"`
+	Stats    StatsSnapshot `json:"stats"`
 }
 
 // String renders the report for the CLI.
@@ -187,9 +187,6 @@ func LoadSmoke(s *Server, cfg SmokeConfig) (SmokeReport, error) {
 		P99:      pct(0.99),
 		Max:      sorted[len(sorted)-1],
 	}
-	report.Stats = s.counters.snapshot()
-	report.Stats.Cache = s.cache.Stats()
-	report.Stats.Pool = s.pool.Stats()
-	report.Stats.Flight = s.flight.Stats()
+	report.Stats = s.statsSnapshot()
 	return report, nil
 }

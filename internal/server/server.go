@@ -199,6 +199,13 @@ func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.counters.reqStats.Add(1)
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// statsSnapshot assembles the full stats body — counters plus cache,
+// pool, flight, per-graph solve, and load sections — for /v1/stats and
+// the selftest report alike.
+func (s *Server) statsSnapshot() StatsSnapshot {
 	snap := s.counters.snapshot()
 	snap.Cache = s.cache.Stats()
 	snap.Pool = s.pool.Stats()
@@ -208,7 +215,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		snap.SolvesByGraph[k.(string)] = v.(*counterCell).v.Load()
 		return true
 	})
-	writeJSON(w, http.StatusOK, snap)
+	snap.GraphLoads = make(map[string]GraphLoadStats)
+	for _, e := range s.registry.List() {
+		snap.GraphLoads[e.Name] = GraphLoadStats{
+			Source:          e.Info.Source,
+			Format:          e.Info.Format,
+			RadiiSource:     e.Info.RadiiSource,
+			SnapshotBytes:   e.Info.SnapshotBytes,
+			ColdStartMillis: e.Info.ColdStartMillis,
+		}
+	}
+	return snap
 }
 
 func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {

@@ -18,21 +18,34 @@ type counters struct {
 	errors       atomic.Int64 // requests answered with a non-2xx status
 }
 
+// GraphLoadStats reports, per graph, how it reached serving state: the
+// configured source, the on-disk format, whether the radii were loaded
+// from persistence or computed at startup, the snapshot size, and the
+// cold-start time.
+type GraphLoadStats struct {
+	Source          string `json:"source"`
+	Format          string `json:"format,omitempty"`
+	RadiiSource     string `json:"radiiSource,omitempty"`
+	SnapshotBytes   int64  `json:"snapshotBytes,omitempty"`
+	ColdStartMillis int64  `json:"coldStartMillis"`
+}
+
 // StatsSnapshot is the JSON body served by GET /v1/stats. The solve and
 // cache counters are the observable contract the tests rely on: N
 // concurrent identical queries must show solves == 1, and a repeated
 // source must raise hits without raising solves.
 type StatsSnapshot struct {
-	Requests      map[string]int64 `json:"requests"`
-	Solves        int64            `json:"solves"`
-	RouteSolves   int64            `json:"routeSolves"`
-	Coalesced     int64            `json:"coalesced"`
-	BatchSources  int64            `json:"batchSources"`
-	Errors        int64            `json:"errors"`
-	Cache         CacheStats       `json:"cache"`
-	Pool          PoolStats        `json:"pool"`
-	Flight        FlightStats      `json:"flight"`
-	SolvesByGraph map[string]int64 `json:"solvesByGraph"`
+	Requests      map[string]int64          `json:"requests"`
+	Solves        int64                     `json:"solves"`
+	RouteSolves   int64                     `json:"routeSolves"`
+	Coalesced     int64                     `json:"coalesced"`
+	BatchSources  int64                     `json:"batchSources"`
+	Errors        int64                     `json:"errors"`
+	Cache         CacheStats                `json:"cache"`
+	Pool          PoolStats                 `json:"pool"`
+	Flight        FlightStats               `json:"flight"`
+	SolvesByGraph map[string]int64          `json:"solvesByGraph"`
+	GraphLoads    map[string]GraphLoadStats `json:"graphLoads"`
 }
 
 func (c *counters) snapshot() StatsSnapshot {

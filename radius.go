@@ -136,6 +136,16 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// WithDefaults returns o with the solver defaults filled in (Rho 32,
+// K 1, DP heuristic when K > 1) — the effective parameters NewSolver
+// would run with. Exposed so tools that persist preprocessing results
+// (cmd/graphpack) and serving metadata report the truth instead of zero
+// values.
+func (o Options) WithDefaults() Options {
+	o.setDefaults()
+	return o
+}
+
 // Preprocessed is the output of Preprocess: the augmented (k, ρ)-graph
 // (same shortest-path metric as the input), the radii, and work
 // statistics.
@@ -216,6 +226,47 @@ func NewSolverPre(pre *Preprocessed, engine Engine) (*Solver, error) {
 
 // Preprocessed exposes the solver's augmented graph and radii.
 func (s *Solver) Preprocessed() *Preprocessed { return s.pre }
+
+// NewSnapshot packages a preprocessing result for persistence: the
+// augmented graph, the original graph, the radii, and the effective
+// parameters from opt. Write it with WriteSnapshot/WriteSnapshotFile.
+func NewSnapshot(pre *Preprocessed, opt Options) (*Snapshot, error) {
+	if pre == nil || pre.Graph == nil || len(pre.Radii) != pre.Graph.NumVertices() {
+		return nil, fmt.Errorf("radiusstep: invalid preprocessed input")
+	}
+	opt.setDefaults()
+	// Mirror Preprocess's rho clamp so the persisted metadata states the
+	// parameters the radii were actually derived with.
+	if n := pre.Graph.NumVertices(); opt.Rho > n && n > 0 {
+		opt.Rho = n
+	}
+	return &Snapshot{
+		G:         pre.Graph,
+		Original:  pre.Original,
+		Radii:     pre.Radii,
+		Rho:       opt.Rho,
+		K:         opt.K,
+		Heuristic: opt.Heuristic.String(),
+	}, nil
+}
+
+// SolverFromSnapshot builds a query Solver from a persisted snapshot
+// without re-running preprocessing. The snapshot must carry radii (i.e.
+// it was written from a preprocessing result, not a bare format
+// conversion); otherwise preprocess the snapshot's graph with NewSolver.
+func SolverFromSnapshot(s *Snapshot, engine Engine) (*Solver, error) {
+	if s == nil || s.G == nil {
+		return nil, fmt.Errorf("radiusstep: nil snapshot")
+	}
+	if s.Radii == nil {
+		return nil, fmt.Errorf("radiusstep: snapshot has no radii; preprocess its graph with NewSolver instead")
+	}
+	return NewSolverPre(&Preprocessed{
+		Graph:    s.G,
+		Original: s.Original,
+		Radii:    s.Radii,
+	}, engine)
+}
 
 // autoThreshold: below this many arcs the sequential engine wins.
 const autoThreshold = 1 << 17
