@@ -1,10 +1,17 @@
-// Command radius-bench regenerates the paper's tables and figures.
+// Command radius-bench regenerates the paper's tables and figures, and
+// benchmarks the stepping-engine matrix.
 //
 // Usage:
 //
 //	radius-bench -list
 //	radius-bench -exp table4 -scale default
 //	radius-bench -exp all -scale tiny
+//	radius-bench -engines all -gen road -n 100000 -trials 9
+//	radius-bench -engines seq,delta,rho -gen web -n 50000
+//
+// The -engines matrix mode emits per-engine p50/p90 solve latency and
+// per-solve allocation counts as JSON (the BENCH_* trajectory seed); it
+// exercises the same per-query engine-override path the daemon serves.
 //
 // Scales: tiny (seconds), default (minutes), full (closer to the paper's
 // sizes; expect long runtimes — preprocessing is Θ(nρ²)).
@@ -14,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	rs "radiusstep"
 	"radiusstep/internal/bench"
 )
 
@@ -23,12 +32,41 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := flag.String("scale", "default", "tiny | default | full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	engines := flag.String("engines", "", "engine matrix mode: 'all' or a comma list (seq,par,flat,delta,rho); emits JSON")
+	gen := flag.String("gen", "road", "matrix mode: generator family")
+	n := flag.Int("n", 50000, "matrix mode: approximate vertex count")
+	weights := flag.Int("weights", 10000, "matrix mode: uniform integer weights in [1, W] (0 keeps generator weights)")
+	rho := flag.Int("rho", 32, "matrix mode: preprocessing ball size (and rho-stepping quota)")
+	trials := flag.Int("trials", 9, "matrix mode: timed solves per engine")
+	seed := flag.Uint64("seed", 42, "matrix mode: generator seed")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments:")
 		for _, e := range bench.Experiments() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *engines != "" {
+		var names []string
+		if *engines != "all" {
+			for _, raw := range strings.Split(*engines, ",") {
+				e, err := rs.ParseEngine(strings.TrimSpace(raw))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				names = append(names, e.String())
+			}
+		}
+		err := bench.RunEngineMatrix(os.Stdout, bench.EngineMatrixConfig{
+			Gen: *gen, N: *n, Weights: *weights, Rho: *rho,
+			Seed: *seed, Trials: *trials, Engines: names,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -42,8 +42,8 @@ func main() {
 	rho := flag.Int("rho", 32, "radius-stepping ball size")
 	k := flag.Int("k", 1, "radius-stepping hop budget")
 	heuristic := flag.String("heuristic", "dp", "shortcut heuristic for k>1: direct|greedy|dp")
-	engine := flag.String("engine", "auto", "radius engine: auto|seq|par|flat")
-	delta := flag.Float64("delta", 1000, "delta-stepping bucket width")
+	engine := flag.String("engine", "auto", "stepping engine: auto|seq|par|flat|delta|rho")
+	delta := flag.Float64("delta", 1000, "delta-stepping bucket width (-algo delta, or -engine delta when set explicitly)")
 	verify := flag.Bool("verify", false, "verify the result certificate")
 	flag.Parse()
 
@@ -81,8 +81,16 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
+		// -delta configures EngineDelta only when the operator actually
+		// passed it; otherwise the solver derives a width from the graph.
+		engineDelta := 0.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "delta" {
+				engineDelta = *delta
+			}
+		})
 		t0 := time.Now()
-		solver, err := rs.NewSolver(g, rs.Options{Rho: *rho, K: *k, Heuristic: h, Engine: e})
+		solver, err := rs.NewSolver(g, rs.Options{Rho: *rho, K: *k, Heuristic: h, Engine: e, Delta: engineDelta})
 		if err != nil {
 			fail("preprocess: %v", err)
 		}

@@ -10,6 +10,12 @@
 // path for production restarts; pre=PATH loads a WritePreprocessed
 // bundle.
 //
+// Each graph's default stepping engine comes from the engine= spec key
+// (auto|seq|par|flat|delta|rho; delta= tunes the Δ bucket width), and
+// clients may override it per request with the ?engine= query parameter
+// on /v1/distances, /v1/route and /v1/batch; /v1/stats reports solve
+// counts per engine.
+//
 // Examples:
 //
 //	ssspd -graph road=gen=road,n=200000,weights=10000,rho=64 -listen :8517
@@ -68,7 +74,7 @@ func fail(format string, args ...any) {
 
 func main() {
 	var graphSpecs multiFlag
-	flag.Var(&graphSpecs, "graph", "load a graph: name=gen=road,n=50000,rho=64 | name=file=PATH | name=snapshot=PATH | name=pre=PATH (repeatable)")
+	flag.Var(&graphSpecs, "graph", "load a graph: name=gen=road,n=50000,rho=64,engine=auto | name=file=PATH | name=snapshot=PATH | name=pre=PATH (repeatable)")
 	configPath := flag.String("config", "", "JSON config file (see package doc)")
 	listen := flag.String("listen", ":8517", "HTTP listen address")
 	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")

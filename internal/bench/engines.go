@@ -1,0 +1,137 @@
+package bench
+
+// This file implements the engine matrix mode: per-engine solve latency
+// and allocation profiles over one graph, emitted as JSON. It seeds the
+// BENCH_* trajectory — a machine-readable record of how each stepping
+// strategy performs on a workload, comparable across commits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	rs "radiusstep"
+)
+
+// EngineMatrixConfig describes one matrix run.
+type EngineMatrixConfig struct {
+	Gen     string // generator family (grid2d, road, web, ...)
+	N       int    // approximate vertex count
+	Weights int    // uniform integer weights in [1, Weights]; 0 keeps generator weights
+	Rho     int    // preprocessing ball size (and the ρ-stepping quota)
+	Seed    uint64
+	Trials  int      // timed solves per engine
+	Engines []string // engine names; empty means all five
+}
+
+// EngineBenchRow is one engine's measurement.
+type EngineBenchRow struct {
+	Engine         string  `json:"engine"`
+	P50Micros      float64 `json:"p50Micros"`
+	P90Micros      float64 `json:"p90Micros"`
+	AllocsPerSolve float64 `json:"allocsPerSolve"`
+	BytesPerSolve  float64 `json:"bytesPerSolve"`
+	Steps          int     `json:"steps"`
+	Substeps       int     `json:"substeps"`
+	Relaxations    int64   `json:"relaxations"`
+}
+
+// engineMatrixReport is the JSON envelope emitted by RunEngineMatrix.
+type engineMatrixReport struct {
+	Graph    string           `json:"graph"`
+	Vertices int              `json:"vertices"`
+	Edges    int              `json:"edges"`
+	Rho      int              `json:"rho"`
+	Trials   int              `json:"trials"`
+	Procs    int              `json:"procs"`
+	Rows     []EngineBenchRow `json:"rows"`
+}
+
+// AllEngineNames lists the five engines in framework order.
+func AllEngineNames() []string {
+	return []string{"sequential", "parallel", "flat", "delta", "rho"}
+}
+
+// RunEngineMatrix builds one preprocessed solver and times every
+// requested engine on it via the per-query override path — the exact
+// code path the daemon's ?engine= parameter takes — reporting p50/p90
+// solve latency and per-solve allocation counts as JSON.
+func RunEngineMatrix(w io.Writer, cfg EngineMatrixConfig) error {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 9
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = 32
+	}
+	engines := cfg.Engines
+	if len(engines) == 0 {
+		engines = AllEngineNames()
+	}
+	g, err := rs.GenerateByName(cfg.Gen, cfg.N, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if cfg.Weights > 0 {
+		g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+	}
+	solver, err := rs.NewSolver(g, rs.Options{Rho: cfg.Rho})
+	if err != nil {
+		return err
+	}
+	n := g.NumVertices()
+
+	report := engineMatrixReport{
+		Graph:    cfg.Gen,
+		Vertices: n,
+		Edges:    g.NumEdges(),
+		Rho:      cfg.Rho,
+		Trials:   cfg.Trials,
+		Procs:    runtime.GOMAXPROCS(0),
+	}
+	for _, name := range engines {
+		eng, err := rs.ParseEngine(name)
+		if err != nil {
+			return err
+		}
+		// Warm the workspace pool so the timed loop measures steady
+		// state, not first-solve buffer growth.
+		var lastStats rs.Stats
+		if _, lastStats, err = solver.DistancesWith(0, eng); err != nil {
+			return fmt.Errorf("engine %s: %v", name, err)
+		}
+
+		durs := make([]float64, cfg.Trials)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < cfg.Trials; i++ {
+			src := rs.Vertex((i * 7919) % n)
+			t0 := time.Now()
+			_, st, err := solver.DistancesWith(src, eng)
+			durs[i] = float64(time.Since(t0).Microseconds())
+			if err != nil {
+				return fmt.Errorf("engine %s: %v", name, err)
+			}
+			lastStats = st
+		}
+		runtime.ReadMemStats(&after)
+		sort.Float64s(durs)
+
+		report.Rows = append(report.Rows, EngineBenchRow{
+			Engine:         name,
+			P50Micros:      durs[len(durs)/2],
+			P90Micros:      durs[len(durs)*9/10],
+			AllocsPerSolve: float64(after.Mallocs-before.Mallocs) / float64(cfg.Trials),
+			BytesPerSolve:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Trials),
+			Steps:          lastStats.Steps,
+			Substeps:       lastStats.Substeps,
+			Relaxations:    lastStats.Relaxations,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunEngineMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunEngineMatrix(&buf, EngineMatrixConfig{
+		Gen: "grid2d", N: 400, Weights: 50, Rho: 8, Seed: 1, Trials: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Vertices int              `json:"vertices"`
+		Rows     []EngineBenchRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("matrix output is not JSON: %v\n%s", err, buf.String())
+	}
+	if report.Vertices == 0 || len(report.Rows) != len(AllEngineNames()) {
+		t.Fatalf("implausible report: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if row.Steps < 1 || row.Relaxations < 1 {
+			t.Fatalf("engine %s: empty solve profile: %+v", row.Engine, row)
+		}
+	}
+	if _, err := json.Marshal(report.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunEngineMatrix(&buf, EngineMatrixConfig{Gen: "nope", N: 10}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if err := RunEngineMatrix(&buf, EngineMatrixConfig{Gen: "grid2d", N: 100, Engines: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -1,23 +1,38 @@
-// Package core implements Radius-Stepping, the paper's parallel
-// single-source shortest-path algorithm (Algorithm 1/2).
+// Package core implements the unified stepping-engine framework behind
+// the library: one driver (see solve in stepper.go) runs synchronous
+// Bellman–Ford substeps against a pluggable Stepper that owns the fringe
+// of reached-but-unsettled vertices and chooses each step's settling
+// threshold d_i. Five engines plug in, all computing identical
+// distances:
 //
-// Three interchangeable solvers are provided, all computing identical
-// distances and identical step/substep counts:
+//   - KindSequential (SolveRef): Radius-Stepping with lazy-deletion
+//     heaps and a sequential relax loop, faithful to Algorithm 1. It is
+//     the fastest single-thread variant and the one experiments use for
+//     step counting.
+//   - KindParallel (Solve): the paper's efficient parallel
+//     implementation (Algorithm 2): the Q and R priority sets are
+//     join-based ordered sets maintained with bulk split/union/
+//     difference, and substeps relax edges concurrently with
+//     priority-writes.
+//   - KindFlat (SolveFlat): the §3.4 frontier engine that avoids ordered
+//     sets by scanning the (small) fringe to pick each round distance;
+//     on unweighted graphs this is the paper's parallel-BFS-style
+//     variant.
+//   - KindDelta (SolveDelta): Δ-stepping expressed as a step-target
+//     rule — d_i is the ceiling of the lowest occupied Δ-bucket — the
+//     fixed-width strategy Radius-Stepping refines.
+//   - KindRho (SolveRho): ρ-stepping — d_i is the ρ-th smallest fringe
+//     distance, so each step settles (at least) the ρ closest vertices.
 //
-//   - SolveRef: a sequential reference with lazy-deletion heaps,
-//     faithful to Algorithm 1. It is the fastest single-thread variant
-//     and the one experiments use for step counting.
-//   - Solve: the paper's efficient parallel implementation (Algorithm 2):
-//     the Q and R priority sets are join-based ordered sets maintained
-//     with bulk split/union/difference, and Bellman–Ford substeps relax
-//     edges concurrently with priority-writes.
-//   - SolveFlat: the §3.4 frontier engine that avoids ordered sets by
-//     scanning the (small) fringe to pick each round distance; on
-//     unweighted graphs this is the paper's parallel-BFS-style variant.
+// The three radius engines take the per-vertex radii r(v) produced by
+// preprocessing and yield identical step/substep counts; correctness
+// holds for any non-negative radii (Theorem 3.1), while the step and
+// substep bounds require the (k, ρ)-graph property. The Δ- and
+// ρ-stepping engines ignore the radii entirely.
 //
-// All solvers take the per-vertex radii r(v) produced by preprocessing;
-// correctness holds for any non-negative radii (Theorem 3.1), while the
-// step and substep bounds require the (k, ρ)-graph property.
+// Repeated solves can reuse a Workspace (pooled distance, stamp, heap
+// and frontier buffers), making steady-state queries allocation-free on
+// the sequential engine.
 package core
 
 import (
@@ -28,6 +43,9 @@ import (
 
 // Stats describes the round structure of one solve.
 type Stats struct {
+	// Engine names the engine kind that produced this solve
+	// (sequential, parallel, flat, delta, rho).
+	Engine string
 	// Steps is the number of outer iterations (the paper's "steps"
 	// or "rounds": Theorem 3.3 bounds it by O((n/ρ)·log ρL)).
 	Steps int
@@ -46,8 +64,17 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("steps=%d substeps=%d maxsub=%d relax=%d scanned=%d maxstep=%d",
-		s.Steps, s.Substeps, s.MaxSubsteps, s.Relaxations, s.EdgesScanned, s.MaxStep)
+	return fmt.Sprintf("engine=%s steps=%d substeps=%d maxsub=%d relax=%d scanned=%d maxstep=%d",
+		s.Engine, s.Steps, s.Substeps, s.MaxSubsteps, s.Relaxations, s.EdgesScanned, s.MaxStep)
+}
+
+// validateSrc checks the source alone (the radius-free engines accept
+// nil radii).
+func validateSrc(g *graph.CSR, src graph.V) error {
+	if n := g.NumVertices(); src < 0 || int(src) >= n {
+		return fmt.Errorf("core: source %d out of range [0,%d)", src, n)
+	}
+	return nil
 }
 
 // validate checks common argument invariants for the solvers.
@@ -56,8 +83,8 @@ func validate(g *graph.CSR, radii []float64, src graph.V) error {
 	if len(radii) != n {
 		return fmt.Errorf("core: %d radii for %d vertices", len(radii), n)
 	}
-	if src < 0 || int(src) >= n {
-		return fmt.Errorf("core: source %d out of range [0,%d)", src, n)
+	if err := validateSrc(g, src); err != nil {
+		return err
 	}
 	for v, r := range radii {
 		if r < 0 {

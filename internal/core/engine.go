@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sync/atomic"
 
 	"radiusstep/internal/graph"
 	"radiusstep/internal/parallel"
@@ -25,10 +24,101 @@ func dvHash(k dv) uint64 {
 func newDVSet() *pset.Set[dv] { return pset.New(dvLess, dvHash) }
 
 // sortedDVSet builds an ordered set from an unsorted batch of unique-
-// vertex keys.
+// vertex keys. The batch slice is only sorted, not retained: tree nodes
+// copy the keys, so callers may reuse it afterwards.
 func sortedDVSet(keys []dv) *pset.Set[dv] {
 	parallel.Sort(keys, dvLess)
 	return pset.NewSorted(keys, dvLess, dvHash)
+}
+
+// psetStepper is the fringe of the paper's parallel engine (Algorithm
+// 2): the priority sets Q and R are join-based ordered sets updated with
+// bulk split/union/difference. push and settle buffer their work; commit
+// applies it as one sorted difference plus one sorted union per substep.
+// inQ/qkey track membership and the exact key each vertex is stored
+// under, so removals never search the trees.
+type psetStepper struct {
+	ws   *Workspace
+	q, r *pset.Set[dv]
+	inQ  []bool
+	qkey []float64
+
+	qIns, qRem, rIns, rRem []dv
+}
+
+func (p *psetStepper) reset() {
+	n := len(p.ws.bits)
+	p.q, p.r = newDVSet(), newDVSet()
+	p.inQ = sized(p.inQ, n)
+	parallel.Fill(p.inQ, false)
+	p.qkey = sized(p.qkey, n)
+	p.qIns, p.qRem = p.qIns[:0], p.qRem[:0]
+	p.rIns, p.rRem = p.rIns[:0], p.rRem[:0]
+}
+
+func (p *psetStepper) seed(vs []graph.V) {
+	for _, v := range vs {
+		p.push(v, parallel.FromBits(p.ws.bits[v]))
+	}
+	p.commit()
+}
+
+func (p *psetStepper) target() (float64, graph.V, bool) {
+	if p.q.Len() == 0 {
+		return 0, -1, false
+	}
+	mn, _ := p.r.Min()
+	return mn.d, mn.v, true
+}
+
+func (p *psetStepper) collect(di float64, dst []graph.V) []graph.V {
+	// A split of Q takes every key <= d_i, and a bulk difference removes
+	// the matching (δ(v)+r(v), v) keys from R.
+	aset := p.q.SplitLE(dv{di, math.MaxInt32})
+	rem := p.rRem[:0]
+	for _, k := range aset.Slice() {
+		v := k.v
+		p.inQ[v] = false
+		dst = append(dst, v)
+		rem = append(rem, dv{p.qkey[v] + p.ws.radii[v], v})
+	}
+	p.r.DiffWith(sortedDVSet(rem))
+	p.rRem = rem[:0]
+	return dst
+}
+
+func (p *psetStepper) push(v graph.V, d float64) {
+	if p.inQ[v] {
+		p.qRem = append(p.qRem, dv{p.qkey[v], v})
+		p.rRem = append(p.rRem, dv{p.qkey[v] + p.ws.radii[v], v})
+	}
+	p.inQ[v] = true
+	p.qkey[v] = d
+	p.qIns = append(p.qIns, dv{d, v})
+	p.rIns = append(p.rIns, dv{d + p.ws.radii[v], v})
+}
+
+func (p *psetStepper) settle(v graph.V) {
+	if p.inQ[v] {
+		p.qRem = append(p.qRem, dv{p.qkey[v], v})
+		p.rRem = append(p.rRem, dv{p.qkey[v] + p.ws.radii[v], v})
+		p.inQ[v] = false
+	}
+}
+
+func (p *psetStepper) commit() {
+	// Differences first: a moved vertex appears in both the removal (old
+	// key) and insertion (new key) batches.
+	if len(p.qRem) > 0 {
+		p.q.DiffWith(sortedDVSet(p.qRem))
+		p.r.DiffWith(sortedDVSet(p.rRem))
+		p.qRem, p.rRem = p.qRem[:0], p.rRem[:0]
+	}
+	if len(p.qIns) > 0 {
+		p.q.UnionWith(sortedDVSet(p.qIns))
+		p.r.UnionWith(sortedDVSet(p.rIns))
+		p.qIns, p.rIns = p.qIns[:0], p.rIns[:0]
+	}
 }
 
 // Solve computes shortest-path distances from src with the parallel
@@ -38,180 +128,5 @@ func sortedDVSet(keys []dv) *pset.Set[dv] {
 // using priority-writes. Steps, substeps and distances are identical to
 // SolveRef.
 func Solve(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
-	if err := validate(g, radii, src); err != nil {
-		return nil, Stats{}, err
-	}
-	n := g.NumVertices()
-	var st Stats
-
-	bits := make([]uint64, n)
-	parallel.Fill(bits, parallel.InfBits)
-	bits[src] = parallel.ToBits(0)
-	done := make([]bool, n)
-	act := make([]uint32, n)   // == step stamp: settled in the current step
-	sub := make([]uint32, n)   // substep claim stamps
-	inQ := make([]bool, n)     // v currently resides in Q and R
-	qkey := make([]float64, n) // exact key v is stored under in Q
-
-	q := newDVSet()
-	r := newDVSet()
-	done[src] = true
-
-	// Relax the source's neighbors (Algorithm 1, line 2) and seed Q, R.
-	{
-		adj, ws := g.Neighbors(src)
-		st.EdgesScanned += int64(len(adj))
-		var qi, ri []dv
-		for i, v := range adj {
-			nb := parallel.ToBits(ws[i])
-			if parallel.WriteMin(&bits[v], nb) {
-				st.Relaxations++
-			}
-		}
-		for _, v := range adj {
-			if !inQ[v] {
-				d := parallel.FromBits(bits[v])
-				inQ[v] = true
-				qkey[v] = d
-				qi = append(qi, dv{d, v})
-				ri = append(ri, dv{d + radii[v], v})
-			}
-		}
-		q.UnionWith(sortedDVSet(qi))
-		r.UnionWith(sortedDVSet(ri))
-	}
-
-	step := uint32(0)
-	subID := uint32(0)
-	var active, frontier []graph.V
-
-	for q.Len() > 0 {
-		step++
-		st.Steps++
-		mn, _ := r.Min()
-		di := mn.d
-
-		// Extract A = {v : δ(v) <= d_i}: a split of Q, and a bulk
-		// difference on R for the matching keys.
-		aset := q.SplitLE(dv{di, math.MaxInt32})
-		akeys := aset.Slice()
-		active = active[:0]
-		rRem := make([]dv, 0, len(akeys))
-		for _, k := range akeys {
-			v := k.v
-			inQ[v] = false
-			act[v] = step
-			active = append(active, v)
-			rRem = append(rRem, dv{qkey[v] + radii[v], v})
-		}
-		r.DiffWith(sortedDVSet(rRem))
-
-		frontier = append(frontier[:0], active...)
-		substeps := 0
-		for len(frontier) > 0 {
-			substeps++
-			subID++
-			updated := relaxParallel(g, bits, sub, subID, frontier, &st)
-
-			// Tree maintenance: partition this substep's improvements
-			// into newly activated (join A and the frontier), moved
-			// (key change in Q and R), and discovered (fresh insert).
-			var next []graph.V
-			var qRem, qIns, rRemB, rInsB []dv
-			for _, v := range updated {
-				nd := parallel.FromBits(bits[v])
-				if nd <= di {
-					if act[v] != step {
-						act[v] = step
-						active = append(active, v)
-						if inQ[v] {
-							qRem = append(qRem, dv{qkey[v], v})
-							rRemB = append(rRemB, dv{qkey[v] + radii[v], v})
-							inQ[v] = false
-						}
-					}
-					next = append(next, v)
-				} else {
-					if inQ[v] {
-						qRem = append(qRem, dv{qkey[v], v})
-						rRemB = append(rRemB, dv{qkey[v] + radii[v], v})
-					}
-					inQ[v] = true
-					qkey[v] = nd
-					qIns = append(qIns, dv{nd, v})
-					rInsB = append(rInsB, dv{nd + radii[v], v})
-				}
-			}
-			if len(qRem) > 0 {
-				q.DiffWith(sortedDVSet(qRem))
-				r.DiffWith(sortedDVSet(rRemB))
-			}
-			if len(qIns) > 0 {
-				q.UnionWith(sortedDVSet(qIns))
-				r.UnionWith(sortedDVSet(rInsB))
-			}
-			frontier = next
-		}
-
-		st.Substeps += substeps
-		if substeps > st.MaxSubsteps {
-			st.MaxSubsteps = substeps
-		}
-		if len(active) > st.MaxStep {
-			st.MaxStep = len(active)
-		}
-		for _, v := range active {
-			done[v] = true
-		}
-	}
-	return parallel.BitsToFloats(bits), st, nil
-}
-
-// relaxParallel relaxes every arc out of frontier with WriteMin and
-// returns the set of vertices whose distance improved, each claimed
-// exactly once for this substep. The substep is synchronous: source
-// distances are snapshotted before any relaxation, so the round is a
-// Jacobi-style Bellman–Ford iteration with deterministic results (the
-// PRAM semantics the paper's substep bounds assume).
-func relaxParallel(g *graph.CSR, bits []uint64, sub []uint32, subID uint32, frontier []graph.V, st *Stats) []graph.V {
-	p := parallel.Procs()
-	parts := make([][]graph.V, p)
-	snap := make([]float64, len(frontier))
-	parallel.For(len(frontier), func(i int) {
-		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
-	})
-	var relaxed, scanned atomic.Int64
-	parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
-		var local []graph.V
-		var rl, sc int64
-		for {
-			i, ok := claim()
-			if !ok {
-				break
-			}
-			u := frontier[i]
-			du := snap[i]
-			adj, ws := g.Neighbors(u)
-			sc += int64(len(adj))
-			for j, v := range adj {
-				nb := parallel.ToBits(du + ws[j])
-				if parallel.WriteMin(&bits[v], nb) {
-					rl++
-					if parallel.Claim(&sub[v], subID) {
-						local = append(local, v)
-					}
-				}
-			}
-		}
-		parts[w] = local
-		relaxed.Add(rl)
-		scanned.Add(sc)
-	})
-	st.Relaxations += relaxed.Load()
-	st.EdgesScanned += scanned.Load()
-	var out []graph.V
-	for _, part := range parts {
-		out = append(out, part...)
-	}
-	return out
+	return SolveKind(g, radii, src, KindParallel, Params{}, nil)
 }

@@ -7,121 +7,197 @@ import (
 	"radiusstep/internal/parallel"
 )
 
-// SolveFlat computes shortest-path distances from src with the frontier
-// ("flat") Radius-Stepping engine of §3.4: instead of ordered sets it
-// keeps the fringe — reached-but-unsettled vertices — in a plain array,
-// picks each round distance with a parallel min-reduction over the
-// fringe, and runs the same parallel Bellman–Ford substeps. On unweighted
-// graphs this is the paper's parallel-BFS-style variant (each step costs
-// work proportional to the fringe, with no log-factor from trees); it is
-// correct for arbitrary weights and produces step/substep counts
-// identical to SolveRef and Solve.
-func SolveFlat(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
-	if err := validate(g, radii, src); err != nil {
-		return nil, Stats{}, err
-	}
-	n := g.NumVertices()
-	var st Stats
+// flatStepper is the frontier ("flat") fringe shared by three engines:
+// instead of ordered sets it keeps reached-but-unsettled vertices in a
+// plain array and picks each round distance with a reduction over the
+// fringe. The array may contain stale (settled) entries — every consumer
+// tolerates them — and the seen stamps bound it to one live entry per
+// vertex per step. Which reduction runs is the stepping strategy:
+//
+//	KindFlat   d_i = min δ(v)+r(v)           (Radius-Stepping, §3.4)
+//	KindDelta  d_i = bucket ceiling of min δ (Δ-stepping)
+//	KindRho    d_i = ρ-th smallest δ         (ρ-stepping)
+type flatStepper struct {
+	ws            *Workspace
+	pending, rest []graph.V
+	keys          []float64 // live-key scratch for the ρ-quota selection
 
-	bits := make([]uint64, n)
-	parallel.Fill(bits, parallel.InfBits)
-	bits[src] = parallel.ToBits(0)
-	done := make([]bool, n)
-	act := make([]uint32, n)
-	sub := make([]uint32, n)
-	seen := make([]uint32, n) // per-step dedup while compacting the fringe
-	done[src] = true
+	kind  EngineKind
+	delta float64
+	quota int
+}
 
-	// Relax the source's neighbors to seed the fringe. The fringe may
-	// contain duplicates and stale (settled) entries; every consumer
-	// below tolerates both.
-	var pending []graph.V
-	{
-		adj, ws := g.Neighbors(src)
-		st.EdgesScanned += int64(len(adj))
-		for i, v := range adj {
-			if parallel.WriteMin(&bits[v], parallel.ToBits(ws[i])) {
-				st.Relaxations++
-			}
+func (f *flatStepper) reset() {
+	f.pending, f.rest = f.pending[:0], f.rest[:0]
+}
+
+func (f *flatStepper) seed(vs []graph.V) {
+	f.pending = append(f.pending[:0], vs...)
+}
+
+func (f *flatStepper) target() (float64, graph.V, bool) {
+	switch f.kind {
+	case KindDelta:
+		idx, minD := f.minDist()
+		if idx < 0 {
+			return 0, -1, false
 		}
-		pending = append(pending, adj...)
-	}
-
-	step := uint32(0)
-	subID := uint32(0)
-	var active, frontier []graph.V
-
-	for len(pending) > 0 {
-		// d_i = min over the fringe of δ(v)+r(v); settled duplicates
-		// are skipped by treating them as +Inf.
-		_, di := parallel.MinIndex(len(pending), math.Inf(1), func(i int) float64 {
-			v := pending[i]
-			if done[v] {
-				return math.Inf(1)
-			}
-			return parallel.FromBits(bits[v]) + radii[v]
-		})
-		if math.IsInf(di, 1) {
-			break // only stale entries remained
+		// The ceiling of the lowest occupied bucket. Float saturation
+		// (minD/Δ near 2^53) can round the +1 away; degrading d_i to
+		// minD keeps the step non-empty, i.e. batched-ties Dijkstra.
+		di := (math.Floor(minD/f.delta) + 1) * f.delta
+		if di <= minD {
+			di = minD
 		}
-		step++
-		st.Steps++
-
-		// Extract A = {δ(v) <= d_i}; the rest stays pending.
-		active = active[:0]
-		rest := pending[:0]
-		for _, v := range pending {
-			if done[v] || seen[v] == step {
+		return di, f.pending[idx], true
+	case KindRho:
+		keys := f.keys[:0]
+		minIdx, minD := -1, math.Inf(1)
+		for i, v := range f.pending {
+			if f.ws.done[v] {
 				continue
 			}
-			seen[v] = step
-			if parallel.FromBits(bits[v]) <= di {
-				act[v] = step
-				active = append(active, v)
-			} else {
-				rest = append(rest, v)
+			d := parallel.FromBits(f.ws.bits[v])
+			keys = append(keys, d)
+			if d < minD {
+				minIdx, minD = i, d
 			}
 		}
-
-		frontier = append(frontier[:0], active...)
-		substeps := 0
-		for len(frontier) > 0 {
-			substeps++
-			subID++
-			updated := relaxParallel(g, bits, sub, subID, frontier, &st)
-			var next []graph.V
-			for _, v := range updated {
-				nd := parallel.FromBits(bits[v])
-				switch {
-				case nd <= di:
-					// Joins (or re-enters) the active set; a stale copy
-					// of v possibly left in rest is skipped later via
-					// the done check.
-					if act[v] != step {
-						act[v] = step
-						active = append(active, v)
-					}
-					next = append(next, v)
-				case seen[v] != step:
-					// Newly discovered beyond d_i: joins the fringe.
-					seen[v] = step
-					rest = append(rest, v)
-				}
+		f.keys = keys
+		if minIdx < 0 {
+			return 0, -1, false
+		}
+		q := f.quota
+		if q > len(keys) {
+			q = len(keys)
+		}
+		return nthSmallest(keys, q), f.pending[minIdx], true
+	default: // KindFlat
+		// d_i = min over the fringe of δ(v)+r(v); settled duplicates are
+		// skipped by treating them as +Inf.
+		idx, di := parallel.MinIndex(len(f.pending), math.Inf(1), func(i int) float64 {
+			v := f.pending[i]
+			if f.ws.done[v] {
+				return math.Inf(1)
 			}
-			frontier = next
+			return parallel.FromBits(f.ws.bits[v]) + f.ws.radii[v]
+		})
+		if math.IsInf(di, 1) {
+			return 0, -1, false
 		}
-
-		st.Substeps += substeps
-		if substeps > st.MaxSubsteps {
-			st.MaxSubsteps = substeps
-		}
-		if len(active) > st.MaxStep {
-			st.MaxStep = len(active)
-		}
-		for _, v := range active {
-			done[v] = true
-		}
-		pending = rest
+		return di, f.pending[idx], true
 	}
-	return parallel.BitsToFloats(bits), st, nil
+}
+
+// minDist finds the live fringe vertex with the smallest tentative
+// distance; index -1 means only stale entries remain.
+func (f *flatStepper) minDist() (int, float64) {
+	idx, minD := parallel.MinIndex(len(f.pending), math.Inf(1), func(i int) float64 {
+		v := f.pending[i]
+		if f.ws.done[v] {
+			return math.Inf(1)
+		}
+		return parallel.FromBits(f.ws.bits[v])
+	})
+	if math.IsInf(minD, 1) {
+		return -1, minD
+	}
+	return idx, minD
+}
+
+func (f *flatStepper) collect(di float64, dst []graph.V) []graph.V {
+	step := f.ws.step
+	rest := f.rest[:0]
+	for _, v := range f.pending {
+		if f.ws.done[v] || f.ws.seen[v] == step {
+			continue
+		}
+		f.ws.seen[v] = step
+		if parallel.FromBits(f.ws.bits[v]) <= di {
+			dst = append(dst, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	f.pending, f.rest = rest, f.pending
+	return dst
+}
+
+func (f *flatStepper) push(v graph.V, _ float64) {
+	// Newly discovered beyond d_i: joins the fringe once per step.
+	if f.ws.seen[v] != f.ws.step {
+		f.ws.seen[v] = f.ws.step
+		f.pending = append(f.pending, v)
+	}
+}
+
+// settle is a no-op: a stale copy of v possibly left in the fringe is
+// skipped later via the done check.
+func (f *flatStepper) settle(graph.V) {}
+
+func (f *flatStepper) commit() {}
+
+// nthSmallest returns the k-th smallest (1-based, 1 <= k <= len) element
+// of keys, partially reordering the slice (Hoare quickselect).
+func nthSmallest(keys []float64, k int) float64 {
+	t := k - 1
+	lo, hi := 0, len(keys)-1
+	for lo < hi {
+		pivot := keys[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for keys[i] < pivot {
+				i++
+			}
+			for keys[j] > pivot {
+				j--
+			}
+			if i <= j {
+				keys[i], keys[j] = keys[j], keys[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case t <= j:
+			hi = j
+		case t >= i:
+			lo = i
+		default:
+			return keys[t]
+		}
+	}
+	return keys[t]
+}
+
+// SolveFlat computes shortest-path distances from src with the frontier
+// ("flat") Radius-Stepping engine of §3.4: instead of ordered sets it
+// keeps the fringe in a plain array, picks each round distance with a
+// parallel min-reduction over the fringe, and runs the same parallel
+// Bellman–Ford substeps. On unweighted graphs this is the paper's
+// parallel-BFS-style variant (each step costs work proportional to the
+// fringe, with no log-factor from trees); it is correct for arbitrary
+// weights and produces step/substep counts identical to SolveRef and
+// Solve.
+func SolveFlat(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
+	return SolveKind(g, radii, src, KindFlat, Params{}, nil)
+}
+
+// SolveDelta computes shortest-path distances from src with the
+// Δ-stepping strategy in the unified framework: each step settles every
+// fringe vertex below the ceiling of the lowest occupied Δ-bucket, with
+// the same synchronous Bellman–Ford substeps as the radius engines.
+// delta <= 0 derives DefaultDelta. Δ-stepping is the fixed-step-width
+// algorithm Radius-Stepping refines; it needs no radii and therefore no
+// preprocessing.
+func SolveDelta(g *graph.CSR, src graph.V, delta float64, ws *Workspace) ([]float64, Stats, error) {
+	return SolveKind(g, nil, src, KindDelta, Params{Delta: delta}, ws)
+}
+
+// SolveRho computes shortest-path distances from src with the
+// ρ-stepping strategy (Dong et al.): each step settles at least the rho
+// closest fringe vertices by taking d_i as the ρ-th smallest tentative
+// distance. rho <= 0 selects 32. Like Δ-stepping it needs no radii.
+func SolveRho(g *graph.CSR, src graph.V, rho int, ws *Workspace) ([]float64, Stats, error) {
+	return SolveKind(g, nil, src, KindRho, Params{Rho: rho}, ws)
 }

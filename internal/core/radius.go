@@ -1,9 +1,8 @@
 package core
 
 import (
-	"math"
-
 	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
 )
 
 // refHeapEnt is a lazy-deletion heap entry keyed by key with payload v.
@@ -59,6 +58,65 @@ func (h *refHeap) pop() refHeapEnt {
 	return top
 }
 
+// heapStepper is the sequential reference fringe of Algorithm 1: two
+// lazy-deletion binary heaps, Q keyed by δ(v) and R keyed by δ(v)+r(v).
+// Staleness is detected at pop time by comparing an entry's key with the
+// vertex's current distance, so push and settle never search the heaps.
+type heapStepper struct {
+	ws   *Workspace
+	q, r refHeap
+}
+
+func (h *heapStepper) reset() {
+	h.q, h.r = h.q[:0], h.r[:0]
+}
+
+func (h *heapStepper) seed(vs []graph.V) {
+	for _, v := range vs {
+		h.push(v, parallel.FromBits(h.ws.bits[v]))
+	}
+}
+
+func (h *heapStepper) target() (float64, graph.V, bool) {
+	// Pop stale R entries to find the round distance d_i and the lead.
+	for len(h.r) > 0 {
+		top := h.r[0]
+		if h.ws.done[top.v] || top.key != parallel.FromBits(h.ws.bits[top.v])+h.ws.radii[top.v] {
+			h.r.pop()
+			continue
+		}
+		return top.key, top.v, true
+	}
+	return 0, -1, false
+}
+
+func (h *heapStepper) collect(di float64, dst []graph.V) []graph.V {
+	for len(h.q) > 0 {
+		top := h.q[0]
+		if h.ws.done[top.v] || top.key != parallel.FromBits(h.ws.bits[top.v]) {
+			h.q.pop()
+			continue
+		}
+		if top.key > di {
+			break
+		}
+		h.q.pop()
+		dst = append(dst, top.v)
+	}
+	return dst
+}
+
+func (h *heapStepper) push(v graph.V, d float64) {
+	h.q.push(refHeapEnt{d, v})
+	h.r.push(refHeapEnt{d + h.ws.radii[v], v})
+}
+
+// settle is a no-op: the vertex's heap entries go stale (its distance
+// dropped below their keys) and lazy deletion skips them.
+func (h *heapStepper) settle(graph.V) {}
+
+func (h *heapStepper) commit() {}
+
 // SolveRef computes shortest-path distances from src with the reference
 // (sequential) Radius-Stepping. It returns +Inf for unreachable vertices.
 func SolveRef(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
@@ -68,147 +126,5 @@ func SolveRef(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, err
 // SolveRefTrace is SolveRef with an optional per-step observer, used by
 // the Figure-1 demo and by tests that assert the step structure.
 func SolveRefTrace(g *graph.CSR, radii []float64, src graph.V, trace func(StepTrace)) ([]float64, Stats, error) {
-	return solveRef(g, radii, src, trace, -1)
-}
-
-// solveRef is the reference engine. When stopAt >= 0 the solve ends as
-// soon as that vertex is settled (its distance is then exact by Theorem
-// 3.1); remaining distances are tentative upper bounds or +Inf.
-func solveRef(g *graph.CSR, radii []float64, src graph.V, trace func(StepTrace), stopAt graph.V) ([]float64, Stats, error) {
-	if err := validate(g, radii, src); err != nil {
-		return nil, Stats{}, err
-	}
-	n := g.NumVertices()
-	var st Stats
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	done := make([]bool, n)  // settled in an earlier step
-	act := make([]uint32, n) // == step: active (settled) in current step
-	sub := make([]uint32, n) // dedupe stamp for substep frontiers
-	var q, r refHeap         // Q keyed by δ(v), R keyed by δ(v)+r(v)
-
-	dist[src] = 0
-	done[src] = true
-	// Line 2 of Algorithm 1: relax the source's neighbors up front.
-	adj, ws := g.Neighbors(src)
-	st.EdgesScanned += int64(len(adj))
-	for i, v := range adj {
-		if ws[i] < dist[v] {
-			dist[v] = ws[i]
-			st.Relaxations++
-			q.push(refHeapEnt{dist[v], v})
-			r.push(refHeapEnt{dist[v] + radii[v], v})
-		}
-	}
-
-	step := uint32(0)
-	subID := uint32(0)
-	active := make([]graph.V, 0, 64)
-	frontier := make([]graph.V, 0, 64)
-	next := make([]graph.V, 0, 64)
-
-	for {
-		// Pop stale R entries to find the round distance d_i and lead.
-		var di float64
-		var lead graph.V = -1
-		for len(r) > 0 {
-			top := r[0]
-			if done[top.v] || top.key != dist[top.v]+radii[top.v] {
-				r.pop()
-				continue
-			}
-			di = top.key
-			lead = top.v
-			break
-		}
-		if lead == -1 {
-			break // everything reached is settled
-		}
-		step++
-		st.Steps++
-
-		// Extract A = {v unsettled : δ(v) <= d_i} from Q.
-		active = active[:0]
-		for len(q) > 0 {
-			top := q[0]
-			if done[top.v] || top.key != dist[top.v] {
-				q.pop()
-				continue
-			}
-			if top.key > di {
-				break
-			}
-			q.pop()
-			act[top.v] = step
-			active = append(active, top.v)
-		}
-
-		// Bellman–Ford substeps: relax from changed vertices only; a
-		// round that produces no δ(v) <= d_i update is the last. Each
-		// substep is synchronous (Jacobi): relaxations read the
-		// distances as of the start of the substep, matching the PRAM
-		// semantics of the paper and making substep counts identical
-		// across all engines.
-		frontier = append(frontier[:0], active...)
-		snap := make([]float64, 0, len(frontier))
-		substeps := 0
-		for len(frontier) > 0 {
-			substeps++
-			subID++
-			next = next[:0]
-			snap = snap[:0]
-			for _, u := range frontier {
-				snap = append(snap, dist[u])
-			}
-			for fi, u := range frontier {
-				du := snap[fi]
-				adj, ws := g.Neighbors(u)
-				st.EdgesScanned += int64(len(adj))
-				for i, v := range adj {
-					if done[v] {
-						continue
-					}
-					nd := du + ws[i]
-					if nd >= dist[v] {
-						continue
-					}
-					dist[v] = nd
-					st.Relaxations++
-					if nd <= di {
-						if act[v] != step {
-							act[v] = step
-							active = append(active, v)
-						}
-						if sub[v] != subID {
-							sub[v] = subID
-							next = append(next, v)
-						}
-					} else {
-						q.push(refHeapEnt{nd, v})
-						r.push(refHeapEnt{nd + radii[v], v})
-					}
-				}
-			}
-			frontier, next = next, frontier
-		}
-		st.Substeps += substeps
-		if substeps > st.MaxSubsteps {
-			st.MaxSubsteps = substeps
-		}
-		if len(active) > st.MaxStep {
-			st.MaxStep = len(active)
-		}
-		for _, v := range active {
-			done[v] = true
-		}
-		if trace != nil {
-			trace(StepTrace{Step: int(step), Di: di, Lead: lead, Settled: len(active), Substeps: substeps})
-		}
-		if stopAt >= 0 && done[stopAt] {
-			break
-		}
-	}
-	return dist, st, nil
+	return solve(g, radii, src, KindSequential, Params{}, nil, trace, -1)
 }

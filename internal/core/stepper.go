@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// EngineKind identifies one engine of the unified stepping framework: a
+// fringe structure plus a step-target rule plus a relaxation mode. All
+// kinds share one driver (the solve function below) and differ only in
+// how reached-but-unsettled vertices are tracked and how each step's
+// settling threshold d_i is chosen:
+//
+//	KindSequential  lazy-heap fringe, radius rule, sequential relax
+//	KindParallel    ordered-set (pset) fringe, radius rule, parallel relax
+//	KindFlat        flat fringe, radius rule, parallel relax
+//	KindDelta       flat fringe, Δ bucket-ceiling rule, parallel relax
+//	KindRho         flat fringe, ρ-quota rule, parallel relax
+//
+// The first three are Radius-Stepping (Algorithms 1/2 and §3.4 of the
+// paper) and produce identical step and substep counts. KindDelta and
+// KindRho are the Δ- and ρ-stepping strategies of the stepping-algorithm
+// family (Dong et al., "Efficient Stepping Algorithms and
+// Implementations for Parallel Shortest Paths"): they ignore the radii
+// and instead pick d_i from a fixed bucket width or a per-step vertex
+// quota. Every kind returns identical distances; only the round
+// structure (and therefore performance) differs.
+type EngineKind int
+
+const (
+	KindSequential EngineKind = iota
+	KindParallel
+	KindFlat
+	KindDelta
+	KindRho
+)
+
+// String names the kind; the names appear in Stats.Engine and in the
+// daemon's per-engine solve counters.
+func (k EngineKind) String() string {
+	switch k {
+	case KindSequential:
+		return "sequential"
+	case KindParallel:
+		return "parallel"
+	case KindFlat:
+		return "flat"
+	case KindDelta:
+		return "delta"
+	case KindRho:
+		return "rho"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Params tunes the radius-free stepping strategies. The zero value
+// selects sensible defaults for both.
+type Params struct {
+	// Delta is the Δ-stepping bucket width (KindDelta). <= 0 derives
+	// DefaultDelta from the graph.
+	Delta float64
+	// Rho is the ρ-stepping extraction quota (KindRho): each step
+	// settles (at least) the ρ closest fringe vertices. <= 0 selects 32.
+	Rho int
+}
+
+// defaultRhoQuota mirrors the default preprocessing ball size: steps
+// settle about as many vertices as one ball holds.
+const defaultRhoQuota = 32
+
+// DefaultDelta derives a Δ-stepping bucket width when none is given:
+// L/d̄ (the largest edge weight over the mean degree), the Meyer–Sanders
+// guidance of Δ = Θ(1/d) for weights normalized to [0, L]. Degenerate
+// graphs (no edges, all-zero weights) get Δ = 1; any positive width is
+// correct there.
+func DefaultDelta(g *graph.CSR) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 1
+	}
+	dbar := float64(g.NumArcs()) / float64(n)
+	if dbar < 1 {
+		dbar = 1
+	}
+	d := g.MaxWeight() / dbar
+	if !(d > 0) {
+		return 1
+	}
+	return d
+}
+
+// stepper is the strategy half of the framework: it owns the fringe
+// (reached-but-unsettled vertices) and chooses each step's settling
+// threshold d_i. The driver owns everything else — the distance array,
+// the Bellman–Ford substep loop, settling, stamps, and statistics — so a
+// new stepping strategy is only a fringe structure plus a target rule.
+type stepper interface {
+	// reset prepares the fringe for a new solve (the workspace has
+	// already been prepared, so sizes and radii are current).
+	reset()
+	// seed enters the source's relaxed neighbors (unique, unsettled,
+	// with final tentative distances) into the fringe.
+	seed(vs []graph.V)
+	// target picks the next step: the threshold d_i and the lead vertex
+	// attaining it. ok=false ends the solve (fringe exhausted).
+	target() (di float64, lead graph.V, ok bool)
+	// collect removes every fringe vertex with δ(v) <= di, appending it
+	// to dst. It must tolerate stale (settled) fringe entries.
+	collect(di float64, dst []graph.V) []graph.V
+	// push records that v's distance improved to d with d > d_i: v
+	// enters the fringe, or moves if already present.
+	push(v graph.V, d float64)
+	// settle removes v from the fringe if present: a substep improved v
+	// to δ(v) <= d_i, so it joins the active set instead.
+	settle(v graph.V)
+	// commit flushes buffered fringe updates at the end of a substep
+	// (bulk-update structures batch their push/settle work).
+	commit()
+}
+
+// stepperFor returns the workspace's cached stepper for kind, creating
+// and configuring it as needed.
+func (ws *Workspace) stepperFor(kind EngineKind, p Params) stepper {
+	switch kind {
+	case KindSequential:
+		if ws.hp == nil {
+			ws.hp = &heapStepper{ws: ws}
+		}
+		return ws.hp
+	case KindParallel:
+		if ws.ps == nil {
+			ws.ps = &psetStepper{ws: ws}
+		}
+		return ws.ps
+	default: // the flat-fringe family: flat, delta, rho
+		if ws.fl == nil {
+			ws.fl = &flatStepper{ws: ws}
+		}
+		f := ws.fl
+		f.kind = kind
+		f.delta = p.Delta
+		if kind == KindDelta && !(f.delta > 0) {
+			f.delta = DefaultDelta(ws.g)
+		}
+		f.quota = p.Rho
+		if f.quota <= 0 {
+			f.quota = defaultRhoQuota
+		}
+		return f
+	}
+}
+
+// usesRadii reports whether kind consults the per-vertex radii. The
+// radius-free strategies accept nil radii.
+func (k EngineKind) usesRadii() bool {
+	return k == KindSequential || k == KindParallel || k == KindFlat
+}
+
+// SolveKind computes shortest-path distances from src with the given
+// engine kind, reusing ws when non-nil (pass nil for a one-shot solve).
+// For the radius-free kinds (KindDelta, KindRho) radii may be nil.
+func SolveKind(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params, ws *Workspace) ([]float64, Stats, error) {
+	return solve(g, radii, src, kind, p, ws, nil, -1)
+}
+
+// SolveKindTarget is SolveKind with early termination: the solve stops
+// as soon as target is settled (its distance is then exact — the settled
+// set is always correct, Theorem 3.1, and the same invariant holds for
+// every stepping strategy). Remaining distances are tentative upper
+// bounds or +Inf.
+func SolveKindTarget(g *graph.CSR, radii []float64, src, target graph.V, kind EngineKind, p Params, ws *Workspace) (float64, []float64, Stats, error) {
+	if target < 0 || int(target) >= g.NumVertices() {
+		return 0, nil, Stats{}, fmt.Errorf("core: target %d out of range [0,%d)", target, g.NumVertices())
+	}
+	dist, st, err := solve(g, radii, src, kind, p, ws, nil, target)
+	if err != nil {
+		return 0, nil, Stats{}, err
+	}
+	return dist[target], dist, st, nil
+}
+
+// solve is the unified driver behind every engine. One outer loop asks
+// the stepper for the step target d_i, extracts the active set A =
+// {v : δ(v) <= d_i}, and runs synchronous Bellman–Ford substeps over A
+// until no relaxation lands at or below d_i; improvements beyond d_i go
+// back to the stepper's fringe. When stopAt >= 0 the solve ends as soon
+// as that vertex is settled.
+func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params, ws *Workspace, trace func(StepTrace), stopAt graph.V) ([]float64, Stats, error) {
+	if kind < KindSequential || kind > KindRho {
+		return nil, Stats{}, fmt.Errorf("core: unknown engine kind %d", int(kind))
+	}
+	if radii == nil && !kind.usesRadii() {
+		if err := validateSrc(g, src); err != nil {
+			return nil, Stats{}, err
+		}
+	} else if err := validate(g, radii, src); err != nil {
+		return nil, Stats{}, err
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.prepare(g, radii)
+	sp := ws.stepperFor(kind, p)
+	sp.reset()
+
+	var st Stats
+	st.Engine = kind.String()
+	seq := kind == KindSequential
+	ws.bits[src] = parallel.ToBits(0)
+	ws.done[src] = true
+
+	// Relax the source's neighbors (Algorithm 1, line 2) and seed the
+	// fringe with the unique improved vertices at their final distances.
+	{
+		adj, wts := g.Neighbors(src)
+		st.EdgesScanned += int64(len(adj))
+		for i, v := range adj {
+			if parallel.WriteMin(&ws.bits[v], parallel.ToBits(wts[i])) {
+				st.Relaxations++
+			}
+		}
+		// Dedup multi-edges with a fresh substep stamp (the act array
+		// cannot serve here: its seed marks would survive into the next
+		// solve's seed under the monotonic-stamp scheme).
+		seedMark := ws.nextSubID()
+		seedList := ws.active[:0]
+		for _, v := range adj {
+			if v != src && ws.sub[v] != seedMark {
+				ws.sub[v] = seedMark
+				seedList = append(seedList, v)
+			}
+		}
+		sp.seed(seedList)
+		ws.active = seedList
+	}
+
+	active := ws.active[:0]
+	frontier := ws.frontier[:0]
+	next := ws.next[:0]
+	stepNo := 0
+
+	for {
+		di, lead, ok := sp.target()
+		if !ok {
+			break
+		}
+		step := ws.nextStep()
+		stepNo++
+		st.Steps++
+
+		// Extract A = {v : δ(v) <= d_i} from the fringe.
+		active = sp.collect(di, active[:0])
+		for _, v := range active {
+			ws.act[v] = step
+		}
+
+		// Bellman–Ford substeps: relax from changed vertices only; a
+		// round producing no δ(v) <= d_i update is the last. Improved
+		// vertices at or below d_i join A (leaving the fringe); the rest
+		// enter or move within the fringe.
+		frontier = append(frontier[:0], active...)
+		substeps := 0
+		for len(frontier) > 0 {
+			substeps++
+			ws.nextSubID()
+			var updated []graph.V
+			if seq {
+				updated = ws.relaxSeq(frontier, &st)
+			} else {
+				updated = ws.relaxPar(frontier, &st)
+			}
+			next = next[:0]
+			for _, v := range updated {
+				nd := parallel.FromBits(ws.bits[v])
+				if nd <= di {
+					if ws.act[v] != step {
+						ws.act[v] = step
+						active = append(active, v)
+						sp.settle(v)
+					}
+					next = append(next, v)
+				} else {
+					sp.push(v, nd)
+				}
+			}
+			sp.commit()
+			frontier, next = next, frontier
+		}
+
+		st.Substeps += substeps
+		if substeps > st.MaxSubsteps {
+			st.MaxSubsteps = substeps
+		}
+		if len(active) > st.MaxStep {
+			st.MaxStep = len(active)
+		}
+		for _, v := range active {
+			ws.done[v] = true
+		}
+		if trace != nil {
+			trace(StepTrace{Step: stepNo, Di: di, Lead: lead, Settled: len(active), Substeps: substeps})
+		}
+		if stopAt >= 0 && ws.done[stopAt] {
+			break
+		}
+	}
+	ws.active, ws.frontier, ws.next = active[:0], frontier[:0], next[:0]
+	return parallel.BitsToFloats(ws.bits), st, nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/check"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/preprocess"
+)
+
+func allKinds() []EngineKind {
+	return []EngineKind{KindSequential, KindParallel, KindFlat, KindDelta, KindRho}
+}
+
+// randomGraph builds a seeded random graph with integer weights in
+// [0, 5] — zero-weight edges included — and NO connectivity guarantee,
+// so a fair share of instances are disconnected.
+func randomGraph(n, m int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := graph.V(rng.Intn(n))
+		v := graph.V(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.Add(u, v, float64(rng.Intn(6)))
+	}
+	return b.Build()
+}
+
+// TestFiveEnginesByteIdenticalDistances is the cross-engine property
+// test: on random graphs (zero-weight edges, disconnected components)
+// all five engines must produce byte-identical distance vectors.
+// Integer weights make float sums exact, so "identical" means equal
+// Float64bits, +Inf included. Each kind reuses one workspace across
+// every trial, so the test also exercises pooled-buffer reuse across
+// graphs of different shapes. Run under -race by CI.
+func TestFiveEnginesByteIdenticalDistances(t *testing.T) {
+	ws := make(map[EngineKind]*Workspace)
+	for _, k := range allKinds() {
+		ws[k] = NewWorkspace()
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + trial*7
+		m := n * (1 + trial%4)
+		g := randomGraph(n, m, int64(trial)*1299721)
+		radii, err := preprocess.RadiiOnly(g, 1+trial%9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.V(trial % n)
+		want := baseline.Dijkstra(g, src)
+		params := Params{Delta: float64(trial%7) / 2, Rho: trial % 11} // incl. derive-default cases
+		for _, kind := range allKinds() {
+			got, st, err := SolveKind(g, radii, src, kind, params, ws[kind])
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, kind, err)
+			}
+			if st.Engine != kind.String() {
+				t.Fatalf("trial %d: Stats.Engine = %q, want %q", trial, st.Engine, kind)
+			}
+			if len(got) != n {
+				t.Fatalf("trial %d %s: %d distances for %d vertices", trial, kind, len(got), n)
+			}
+			for v := range got {
+				if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+					t.Fatalf("trial %d %s: dist[%d] = %v (bits %x), want %v (bits %x)",
+						trial, kind, v, got[v], math.Float64bits(got[v]),
+						want[v], math.Float64bits(want[v]))
+				}
+			}
+			if err := check.VerifyDistances(g, src, got); err != nil {
+				t.Fatalf("trial %d %s: certificate: %v", trial, kind, err)
+			}
+		}
+	}
+}
+
+// TestRadiiFreeKindsAcceptNilRadii: Δ- and ρ-stepping never consult the
+// radii, so they run without preprocessing; the radius kinds must still
+// reject nil radii.
+func TestRadiiFreeKindsAcceptNilRadii(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(9, 9), 1, 40, 3)
+	want := baseline.Dijkstra(g, 0)
+	for _, kind := range []EngineKind{KindDelta, KindRho} {
+		got, _, err := SolveKind(g, nil, 0, kind, Params{}, nil)
+		if err != nil {
+			t.Fatalf("%s with nil radii: %v", kind, err)
+		}
+		if i := check.SameDistances(want, got, 0); i >= 0 {
+			t.Fatalf("%s: mismatch at %d", kind, i)
+		}
+	}
+	for _, kind := range []EngineKind{KindSequential, KindParallel, KindFlat} {
+		if _, _, err := SolveKind(g, nil, 0, kind, Params{}, nil); err == nil {
+			t.Fatalf("%s accepted nil radii", kind)
+		}
+	}
+}
+
+func TestSolveKindRejectsUnknownKind(t *testing.T) {
+	g := gen.Chain(4)
+	if _, _, err := SolveKind(g, ZeroRadii(4), 0, EngineKind(99), Params{}, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, _, err := SolveKind(g, ZeroRadii(4), 0, EngineKind(-1), Params{}, nil); err == nil {
+		t.Fatal("negative kind accepted")
+	}
+}
+
+// TestSolveKindTargetEveryEngine: early termination works for every
+// strategy — the settled-set-is-exact invariant is engine-independent.
+func TestSolveKindTargetEveryEngine(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(12, 12), 1, 25, 7)
+	radii, err := preprocess.RadiiOnly(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Dijkstra(g, 0)
+	for _, kind := range allKinds() {
+		for _, dst := range []graph.V{1, 40, 143} {
+			d, _, _, err := SolveKindTarget(g, radii, 0, dst, kind, Params{}, nil)
+			if err != nil {
+				t.Fatalf("%s target %d: %v", kind, dst, err)
+			}
+			if d != want[dst] {
+				t.Fatalf("%s target %d: %v, want %v", kind, dst, d, want[dst])
+			}
+		}
+	}
+	if _, _, _, err := SolveKindTarget(g, radii, 0, 9999, KindSequential, Params{}, nil); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+// TestDeltaRhoStepStructure sanity-checks the strategy knobs: a wider Δ
+// and a larger ρ must not increase the step count, and explicit knobs
+// must change the round structure the way the strategy promises.
+func TestDeltaRhoStepStructure(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(20, 20), 1, 100, 11)
+	n := g.NumVertices()
+	_, stNarrow, err := SolveDelta(g, 0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stWide, err := SolveDelta(g, 0, 1e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stWide.Steps != 1 {
+		t.Fatalf("Δ covering the whole weight range must settle in 1 step, got %d", stWide.Steps)
+	}
+	if stNarrow.Steps < stWide.Steps {
+		t.Fatalf("narrow Δ produced fewer steps (%d) than wide Δ (%d)", stNarrow.Steps, stWide.Steps)
+	}
+	_, stSmall, err := SolveRho(g, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stBig, err := SolveRho(g, 0, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBig.Steps > stSmall.Steps {
+		t.Fatalf("ρ=n produced more steps (%d) than ρ=1 (%d)", stBig.Steps, stSmall.Steps)
+	}
+}
+
+func TestNthSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(10)) // heavy ties
+		}
+		sorted := append([]float64(nil), keys...)
+		sort.Float64s(sorted)
+		k := 1 + rng.Intn(n)
+		if got := nthSmallest(keys, k); got != sorted[k-1] {
+			t.Fatalf("trial %d: nthSmallest(%v, %d) = %v, want %v", trial, keys, k, got, sorted[k-1])
+		}
+	}
+}
+
+func TestDefaultDelta(t *testing.T) {
+	if d := DefaultDelta(graph.FromEdges(1, nil)); !(d > 0) {
+		t.Fatalf("edgeless graph: delta %v not positive", d)
+	}
+	b := graph.NewBuilder(3)
+	b.Add(0, 1, 0)
+	b.Add(1, 2, 0)
+	if d := DefaultDelta(b.Build()); !(d > 0) {
+		t.Fatalf("all-zero weights: delta %v not positive", d)
+	}
+	g := gen.WithUniformIntWeights(gen.Grid2D(8, 8), 1, 100, 2)
+	if d := DefaultDelta(g); !(d > 0) || math.IsInf(d, 1) {
+		t.Fatalf("grid: implausible delta %v", d)
+	}
+}

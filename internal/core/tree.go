@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"radiusstep/internal/graph"
@@ -72,12 +71,5 @@ func PathTo(parent []graph.V, dst graph.V) []graph.V {
 // typically settle the target after exploring only the ball of radius
 // d(src, target).
 func SolveRefTarget(g *graph.CSR, radii []float64, src, target graph.V) (float64, []float64, Stats, error) {
-	if target < 0 || int(target) >= g.NumVertices() {
-		return 0, nil, Stats{}, fmt.Errorf("core: target %d out of range [0,%d)", target, g.NumVertices())
-	}
-	dist, st, err := solveRef(g, radii, src, nil, target)
-	if err != nil {
-		return 0, nil, Stats{}, err
-	}
-	return dist[target], dist, st, nil
+	return SolveKindTarget(g, radii, src, target, KindSequential, Params{}, nil)
 }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// Workspace holds every buffer a solve needs — the distance bits, the
+// settled/stamp arrays, the frontier lists, and per-stepper fringe
+// structures. A zero workspace is ready to use; reusing one across
+// solves (typically via a sync.Pool owned by the caller) makes repeated
+// queries allocation-free in steady state, which is the hot path a
+// serving daemon's cache misses pay. A Workspace is not safe for
+// concurrent use; pool one per in-flight solve.
+//
+// Buffers are grow-only: a workspace that served a large graph keeps its
+// capacity when later solving a small one, and all slices are re-sliced
+// to the current vertex count on prepare.
+type Workspace struct {
+	g     *graph.CSR
+	radii []float64
+
+	bits []uint64 // tentative distances as priority-write float bits
+	done []bool   // settled in an earlier step
+	act  []uint32 // == step stamp: joined the active set this step
+	sub  []uint32 // substep claim stamps (one improvement report per substep)
+	seen []uint32 // per-step fringe dedup for the flat-fringe steppers
+
+	active, frontier, next, updated []graph.V
+	snap                            []float64
+	parts                           [][]graph.V
+
+	hp *heapStepper
+	ps *psetStepper
+	fl *flatStepper
+
+	step  uint32 // current step stamp (1-based within a solve)
+	subID uint32 // current substep stamp
+}
+
+// NewWorkspace returns an empty workspace. Buffers are sized lazily on
+// first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// prepare re-slices every shared buffer to n vertices and resets the
+// per-solve state: distances to +Inf, settled marks to false. The stamp
+// arrays are deliberately NOT cleared: ws.step and ws.subID increase
+// monotonically across the workspace's lifetime, so a stamp written by
+// an earlier solve can never equal a current one (freshly grown arrays
+// are zero and stamps start at 1). nextStep/nextSubID re-zero an array
+// on the once-per-4-billion wraparound. This keeps the per-query reset
+// at two O(n) sweeps instead of five.
+func (ws *Workspace) prepare(g *graph.CSR, radii []float64) {
+	n := g.NumVertices()
+	ws.g, ws.radii = g, radii
+	ws.bits = sized(ws.bits, n)
+	parallel.Fill(ws.bits, parallel.InfBits)
+	ws.done = sized(ws.done, n)
+	parallel.Fill(ws.done, false)
+	ws.act = sized(ws.act, n)
+	ws.sub = sized(ws.sub, n)
+	ws.seen = sized(ws.seen, n)
+}
+
+// nextStep advances the step stamp, clearing the step-stamped arrays on
+// wraparound so stale stamps can never collide with a new step.
+func (ws *Workspace) nextStep() uint32 {
+	if ws.step == ^uint32(0) {
+		parallel.Fill(ws.act, 0)
+		parallel.Fill(ws.seen, 0)
+		ws.step = 0
+	}
+	ws.step++
+	return ws.step
+}
+
+// nextSubID advances the substep claim stamp, likewise clearing the
+// claim array on wraparound.
+func (ws *Workspace) nextSubID() uint32 {
+	if ws.subID == ^uint32(0) {
+		parallel.Fill(ws.sub, 0)
+		ws.subID = 0
+	}
+	ws.subID++
+	return ws.subID
+}
+
+// sized returns s with length exactly n, reusing capacity when possible.
+func sized[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// relaxSeq is the sequential Bellman–Ford substep: relax every arc out
+// of frontier against a snapshot of the frontier's distances (Jacobi
+// semantics, so substep counts match the parallel engines exactly) and
+// return the vertices whose distance improved, each reported once.
+func (ws *Workspace) relaxSeq(frontier []graph.V, st *Stats) []graph.V {
+	subID := ws.subID
+	snap := sized(ws.snap, len(frontier))
+	ws.snap = snap
+	for i, u := range frontier {
+		snap[i] = parallel.FromBits(ws.bits[u])
+	}
+	out := ws.updated[:0]
+	for fi, u := range frontier {
+		du := snap[fi]
+		adj, wts := ws.g.Neighbors(u)
+		st.EdgesScanned += int64(len(adj))
+		for j, v := range adj {
+			if ws.done[v] {
+				continue
+			}
+			nd := du + wts[j]
+			if nd >= parallel.FromBits(ws.bits[v]) {
+				continue
+			}
+			ws.bits[v] = parallel.ToBits(nd)
+			st.Relaxations++
+			if ws.sub[v] != subID {
+				ws.sub[v] = subID
+				out = append(out, v)
+			}
+		}
+	}
+	ws.updated = out
+	return out
+}
+
+// relaxPar relaxes every arc out of frontier with WriteMin and returns
+// the set of vertices whose distance improved, each claimed exactly once
+// for this substep. The substep is synchronous: source distances are
+// snapshotted before any relaxation, so the round is a Jacobi-style
+// Bellman–Ford iteration with deterministic results (the PRAM semantics
+// the paper's substep bounds assume).
+func (ws *Workspace) relaxPar(frontier []graph.V, st *Stats) []graph.V {
+	subID := ws.subID
+	p := parallel.Procs()
+	if cap(ws.parts) < p {
+		ws.parts = make([][]graph.V, p)
+	}
+	parts := ws.parts[:p]
+	snap := sized(ws.snap, len(frontier))
+	ws.snap = snap
+	bits := ws.bits
+	parallel.For(len(frontier), func(i int) {
+		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
+	})
+	var relaxed, scanned atomic.Int64
+	parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
+		local := parts[w][:0]
+		var rl, sc int64
+		for {
+			i, ok := claim()
+			if !ok {
+				break
+			}
+			u := frontier[i]
+			du := snap[i]
+			adj, wts := ws.g.Neighbors(u)
+			sc += int64(len(adj))
+			for j, v := range adj {
+				nb := parallel.ToBits(du + wts[j])
+				if parallel.WriteMin(&bits[v], nb) {
+					rl++
+					if parallel.Claim(&ws.sub[v], subID) {
+						local = append(local, v)
+					}
+				}
+			}
+		}
+		parts[w] = local
+		relaxed.Add(rl)
+		scanned.Add(sc)
+	})
+	st.Relaxations += relaxed.Load()
+	st.EdgesScanned += scanned.Load()
+	out := ws.updated[:0]
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	ws.updated = out
+	return out
+}

@@ -66,9 +66,16 @@ func Claim(addr *uint32, stamp uint32) bool {
 }
 
 // BitsToFloats converts a bit-pattern distance array into float64 values
-// in parallel (used once at the end of a parallel solve).
+// in parallel (used once at the end of a solve). Small arrays convert in
+// a plain loop so the only allocation is the returned vector.
 func BitsToFloats(bits []uint64) []float64 {
 	out := make([]float64, len(bits))
+	if len(bits) <= scanGrain || Procs() == 1 {
+		for i, b := range bits {
+			out[i] = math.Float64frombits(b)
+		}
+		return out
+	}
 	Blocks(len(bits), scanGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = math.Float64frombits(bits[i])

@@ -23,7 +23,7 @@ type fakeBackend struct {
 
 func (f *fakeBackend) NumVertices() int { return f.n }
 
-func (f *fakeBackend) Distances(src rs.Vertex) ([]float64, rs.Stats, error) {
+func (f *fakeBackend) Distances(src rs.Vertex, _ rs.Engine) ([]float64, rs.Stats, error) {
 	f.calls.Add(1)
 	if f.gate != nil {
 		<-f.gate
@@ -35,7 +35,7 @@ func (f *fakeBackend) Distances(src rs.Vertex) ([]float64, rs.Stats, error) {
 	return d, rs.Stats{}, nil
 }
 
-func (f *fakeBackend) Path(src, dst rs.Vertex) ([]rs.Vertex, float64, error) {
+func (f *fakeBackend) Path(src, dst rs.Vertex, _ rs.Engine) ([]rs.Vertex, float64, error) {
 	return []rs.Vertex{src, dst}, 1, nil
 }
 

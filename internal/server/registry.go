@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -15,13 +16,16 @@ import (
 
 // Backend answers shortest-path queries for one graph. The production
 // implementation wraps *radiusstep.Solver; tests substitute fakes to
-// observe solve counts and control timing.
+// observe solve counts and control timing. The engine argument carries
+// the per-request ?engine= override; EngineAuto means "no override"
+// (the backend's configured engine applies), matching the
+// Solver.DistancesWith contract.
 type Backend interface {
 	NumVertices() int
 	// Distances runs a full SSSP solve from src.
-	Distances(src rs.Vertex) ([]float64, rs.Stats, error)
+	Distances(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error)
 	// Path answers a point-to-point query with early termination.
-	Path(src, dst rs.Vertex) ([]rs.Vertex, float64, error)
+	Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error)
 }
 
 // RadiiSource values: where a graph's radii came from at load time. The
@@ -127,12 +131,12 @@ type solverBackend struct {
 
 func (b *solverBackend) NumVertices() int { return b.n }
 
-func (b *solverBackend) Distances(src rs.Vertex) ([]float64, rs.Stats, error) {
-	return b.solver.Distances(src)
+func (b *solverBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error) {
+	return b.solver.DistancesWith(src, engine)
 }
 
-func (b *solverBackend) Path(src, dst rs.Vertex) ([]rs.Vertex, float64, error) {
-	return b.solver.Path(src, dst)
+func (b *solverBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error) {
+	return b.solver.PathWith(src, dst, engine)
 }
 
 // NewSolverEntry wraps a preprocessed solver as a registry entry,
@@ -171,18 +175,19 @@ func NewSolverEntry(name string, solver *rs.Solver, opt rs.Options, source strin
 // remaining fields tune generation and preprocessing; they are rejected
 // for sources whose preprocessing is already persisted.
 type GraphConfig struct {
-	Name      string `json:"name"`
-	Gen       string `json:"gen,omitempty"`
-	File      string `json:"file,omitempty"`
-	Snapshot  string `json:"snapshot,omitempty"`
-	Pre       string `json:"pre,omitempty"`
-	N         int    `json:"n,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
-	Weights   int    `json:"weights,omitempty"`
-	Rho       int    `json:"rho,omitempty"`
-	K         int    `json:"k,omitempty"`
-	Heuristic string `json:"heuristic,omitempty"`
-	Engine    string `json:"engine,omitempty"`
+	Name      string  `json:"name"`
+	Gen       string  `json:"gen,omitempty"`
+	File      string  `json:"file,omitempty"`
+	Snapshot  string  `json:"snapshot,omitempty"`
+	Pre       string  `json:"pre,omitempty"`
+	N         int     `json:"n,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Weights   int     `json:"weights,omitempty"`
+	Rho       int     `json:"rho,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Heuristic string  `json:"heuristic,omitempty"`
+	Engine    string  `json:"engine,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
 }
 
 // ParseGraphSpec parses the -graph flag form
@@ -230,6 +235,8 @@ func ParseGraphSpec(spec string) (GraphConfig, error) {
 			cfg.Heuristic = v
 		case "engine":
 			cfg.Engine = v
+		case "delta":
+			cfg.Delta, err = strconv.ParseFloat(v, 64)
 		default:
 			return cfg, fmt.Errorf("server: graph spec %q: unknown key %q", spec, k)
 		}
@@ -259,8 +266,14 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 	if srcs != 1 {
 		return nil, fmt.Errorf("server: graph %q: exactly one of gen|file|snapshot|pre required", cfg.Name)
 	}
+	// delta is a query-time knob, valid for every source — so a bad
+	// value must fail on every source too, not just the ones that run
+	// preprocessing (whose Options validation would catch it).
+	if cfg.Delta < 0 || math.IsNaN(cfg.Delta) {
+		return nil, fmt.Errorf("server: graph %q: delta %v must be >= 0 (0 derives a default)", cfg.Name, cfg.Delta)
+	}
 
-	opt := rs.Options{Rho: cfg.Rho, K: cfg.K}
+	opt := rs.Options{Rho: cfg.Rho, K: cfg.K, Delta: cfg.Delta}
 	if cfg.Heuristic != "" {
 		h, err := rs.ParseHeuristic(cfg.Heuristic)
 		if err != nil {
@@ -298,6 +311,9 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 		solver, err := rs.NewSolverPre(pre, opt.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		if cfg.Delta > 0 {
+			solver.SetDelta(cfg.Delta)
 		}
 		// A bundle does not record its preprocessing parameters; report
 		// them as unknown (zero) rather than inventing defaults.
@@ -394,6 +410,9 @@ func buildFromSnapshot(cfg GraphConfig, opt rs.Options, snap *rs.Snapshot, size 
 		solver, err := rs.SolverFromSnapshot(snap, opt.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+		if cfg.Delta > 0 {
+			solver.SetDelta(cfg.Delta)
 		}
 		entry := NewSolverEntry(cfg.Name, solver, rs.Options{Engine: opt.Engine}, source, 0)
 		entry.Info.Rho, entry.Info.K, entry.Info.Heuristic = snap.Rho, snap.K, snap.Heuristic

@@ -28,7 +28,7 @@ func solverOf(t *testing.T, e *Entry) *rs.Solver {
 
 func assertMatchesDijkstra(t *testing.T, e *Entry, g *rs.Graph, src rs.Vertex) {
 	t.Helper()
-	got, _, err := e.Backend.Distances(src)
+	got, _, err := e.Backend.Distances(src, rs.EngineAuto)
 	if err != nil {
 		t.Fatalf("Distances: %v", err)
 	}
@@ -111,7 +111,7 @@ func TestBuildEntrySnapshotServesPackedGraph(t *testing.T) {
 	}
 	assertMatchesDijkstra(t, entry, g, 17)
 	// Point-to-point routes must use real (original-graph) edges.
-	pathVs, d, err := entry.Backend.Path(0, rs.Vertex(g.NumVertices()-1))
+	pathVs, d, err := entry.Backend.Path(0, rs.Vertex(g.NumVertices()-1), rs.EngineAuto)
 	if err != nil {
 		t.Fatalf("Path: %v", err)
 	}

@@ -14,6 +14,12 @@
 //	GET  /v1/stats      cache/coalescing/pool counters
 //	GET  /healthz       liveness
 //
+// The solve endpoints accept an ?engine= query parameter (sequential,
+// parallel, flat, delta, rho) overriding the graph's configured engine
+// for that request; /v1/stats reports solve counts per engine. All
+// engines return identical distances, so the cache and request
+// coalescing ignore the override.
+//
 // Unreachable vertices are reported with distance -1 (JSON has no +Inf).
 package server
 
@@ -50,7 +56,8 @@ type Server struct {
 	counters counters
 	start    time.Time
 
-	solvesByGraph sync.Map // graph name -> *counterCell
+	solvesByGraph  sync.Map // graph name -> *counterCell
+	solvesByEngine sync.Map // engine name -> *counterCell
 }
 
 type counterCell struct{ v atomic.Int64 }
@@ -87,10 +94,26 @@ func (s *Server) Handler() http.Handler {
 
 // --- core query path ------------------------------------------------------
 
+// engineParam parses the optional ?engine= override, returning
+// EngineAuto (= "no override", the graph's configured engine) when the
+// parameter is absent. Unknown names are a client error (the
+// fail-loudly contract of ParseEngine).
+func engineParam(r *http.Request) (rs.Engine, error) {
+	name := r.URL.Query().Get("engine")
+	if name == "" {
+		return rs.EngineAuto, nil
+	}
+	return rs.ParseEngine(name)
+}
+
 // distances answers one (graph, source) query through the cache →
 // coalescing → pool pipeline. The returned slice is shared (cache and
-// concurrent waiters) and must not be modified.
-func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex) (dist []float64, cached bool, err error) {
+// concurrent waiters) and must not be modified. Distances are identical
+// across engines, so the cache and coalescing key stays (graph, source):
+// an engine override only decides which engine runs on a miss, and
+// concurrent same-key requests with different overrides share the
+// leader's solve.
+func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine rs.Engine) (dist []float64, cached bool, err error) {
 	key := cacheKey{graph: e.Name, src: int32(src)}
 	if d, ok := s.cache.Get(key); ok {
 		return d, true, nil
@@ -104,12 +127,15 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex) (dist [
 			return nil, err
 		}
 		defer s.pool.release()
-		d, _, err := e.Backend.Distances(src)
+		d, st, err := e.Backend.Distances(src, engine)
 		if err != nil {
 			return nil, err
 		}
 		s.counters.solves.Add(1)
-		s.bumpGraph(e.Name)
+		s.bump(&s.solvesByGraph, e.Name)
+		if st.Engine != "" {
+			s.bump(&s.solvesByEngine, st.Engine)
+		}
 		s.cache.Add(key, d)
 		return d, nil
 	})
@@ -119,8 +145,8 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex) (dist [
 	return d, false, err
 }
 
-func (s *Server) bumpGraph(name string) {
-	cell, _ := s.solvesByGraph.LoadOrStore(name, &counterCell{})
+func (s *Server) bump(m *sync.Map, key string) {
+	cell, _ := m.LoadOrStore(key, &counterCell{})
 	cell.(*counterCell).v.Add(1)
 }
 
@@ -215,6 +241,11 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 		snap.SolvesByGraph[k.(string)] = v.(*counterCell).v.Load()
 		return true
 	})
+	snap.SolvesByEngine = make(map[string]int64)
+	s.solvesByEngine.Range(func(k, v any) bool {
+		snap.SolvesByEngine[k.(string)] = v.(*counterCell).v.Load()
+		return true
+	})
 	snap.GraphLoads = make(map[string]GraphLoadStats)
 	for _, e := range s.registry.List() {
 		snap.GraphLoads[e.Name] = GraphLoadStats{
@@ -234,6 +265,11 @@ func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req, &s.counters) {
 		return
 	}
+	eng, err := engineParam(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	e, src, ok := s.resolve(w, req.Graph, req.Source)
 	if !ok {
 		return
@@ -241,7 +277,7 @@ func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
 	if !s.checkTargets(w, e, req.Targets) {
 		return
 	}
-	resp, status := s.answerSource(r.Context(), e, src, req.TopK, req.Targets)
+	resp, status := s.answerSource(r.Context(), e, src, req.TopK, req.Targets, eng)
 	writeJSON(w, status, resp)
 }
 
@@ -260,9 +296,9 @@ func (s *Server) checkTargets(w http.ResponseWriter, e *Entry, targets []int64) 
 
 // answerSource runs one source query and shapes the response per the
 // topk/targets options. It is shared by /v1/distances and /v1/batch.
-func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK int, targets []int64) (distancesResponse, int) {
+func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK int, targets []int64, engine rs.Engine) (distancesResponse, int) {
 	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
-	dist, cached, err := s.distances(ctx, e, src)
+	dist, cached, err := s.distances(ctx, e, src, engine)
 	if err != nil {
 		s.counters.errors.Add(1)
 		resp.Error = err.Error()
@@ -307,11 +343,16 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "target %d out of range [0, %d)", req.Target, e.Backend.NumVertices())
 		return
 	}
+	eng, perr := engineParam(r)
+	if perr != nil {
+		s.fail(w, http.StatusBadRequest, "%v", perr)
+		return
+	}
 	if err := s.pool.acquire(r.Context()); err != nil {
 		s.fail(w, http.StatusServiceUnavailable, "route: %v", err)
 		return
 	}
-	path, d, err := e.Backend.Path(src, rs.Vertex(req.Target))
+	path, d, err := e.Backend.Path(src, rs.Vertex(req.Target), eng)
 	s.pool.release()
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "route: %v", err)
@@ -333,6 +374,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.counters.reqBatch.Add(1)
 	var req batchRequest
 	if !decodeBody(w, r, &req, &s.counters) {
+		return
+	}
+	eng, perr := engineParam(r)
+	if perr != nil {
+		s.fail(w, http.StatusBadRequest, "%v", perr)
 		return
 	}
 	e, ok := s.registry.Get(req.Graph)
@@ -370,7 +416,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, src int64) {
 			defer wg.Done()
-			results[i], _ = s.answerSource(r.Context(), e, rs.Vertex(src), req.TopK, req.Targets)
+			results[i], _ = s.answerSource(r.Context(), e, rs.Vertex(src), req.TopK, req.Targets, eng)
 		}(i, src)
 	}
 	wg.Wait()

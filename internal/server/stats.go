@@ -35,17 +35,21 @@ type GraphLoadStats struct {
 // concurrent identical queries must show solves == 1, and a repeated
 // source must raise hits without raising solves.
 type StatsSnapshot struct {
-	Requests      map[string]int64          `json:"requests"`
-	Solves        int64                     `json:"solves"`
-	RouteSolves   int64                     `json:"routeSolves"`
-	Coalesced     int64                     `json:"coalesced"`
-	BatchSources  int64                     `json:"batchSources"`
-	Errors        int64                     `json:"errors"`
-	Cache         CacheStats                `json:"cache"`
-	Pool          PoolStats                 `json:"pool"`
-	Flight        FlightStats               `json:"flight"`
-	SolvesByGraph map[string]int64          `json:"solvesByGraph"`
-	GraphLoads    map[string]GraphLoadStats `json:"graphLoads"`
+	Requests      map[string]int64 `json:"requests"`
+	Solves        int64            `json:"solves"`
+	RouteSolves   int64            `json:"routeSolves"`
+	Coalesced     int64            `json:"coalesced"`
+	BatchSources  int64            `json:"batchSources"`
+	Errors        int64            `json:"errors"`
+	Cache         CacheStats       `json:"cache"`
+	Pool          PoolStats        `json:"pool"`
+	Flight        FlightStats      `json:"flight"`
+	SolvesByGraph map[string]int64 `json:"solvesByGraph"`
+	// SolvesByEngine counts full SSSP solves per engine name
+	// (sequential, parallel, flat, delta, rho) — the observable contract
+	// behind per-request ?engine= overrides.
+	SolvesByEngine map[string]int64          `json:"solvesByEngine"`
+	GraphLoads     map[string]GraphLoadStats `json:"graphLoads"`
 }
 
 func (c *counters) snapshot() StatsSnapshot {

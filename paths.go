@@ -29,18 +29,39 @@ func (s *Solver) Tree(src Vertex) (dist []float64, parent []Vertex, stats Stats,
 // distances are exact), which on large graphs explores only the ball of
 // radius d(src, dst). It returns +Inf when dst is unreachable.
 func (s *Solver) Distance(src, dst Vertex) (float64, Stats, error) {
-	d, _, st, err := core.SolveRefTarget(s.pre.Graph, s.pre.Radii, src, dst)
+	ws := s.getWS()
+	d, _, st, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, core.KindSequential, s.params, ws)
+	s.wsPool.Put(ws)
 	return d, st, err
 }
 
 // Path returns the shortest path src..dst as a vertex sequence and its
 // length, or (nil, +Inf) when unreachable. It runs an early-terminated
-// solve and walks tight edges back from dst. When the preprocessing
-// bundle retains the original graph the walk uses only real (non-
-// shortcut) edges, so the route is directly usable; otherwise shortcut
-// edges (whose weights equal exact distances) may appear.
+// solve on the sequential engine and walks tight edges back from dst.
+// When the preprocessing bundle retains the original graph the walk uses
+// only real (non-shortcut) edges, so the route is directly usable;
+// otherwise shortcut edges (whose weights equal exact distances) may
+// appear.
 func (s *Solver) Path(src, dst Vertex) ([]Vertex, float64, error) {
-	d, dist, _, err := core.SolveRefTarget(s.pre.Graph, s.pre.Radii, src, dst)
+	return s.PathWith(src, dst, EngineAuto)
+}
+
+// PathWith is Path with a per-query engine override (EngineAuto means
+// the default early-terminating sequential engine). Every engine
+// supports early termination — the settled-set-is-exact invariant is
+// strategy-independent — so the route and its length are identical
+// across engines; only the exploration order differs.
+func (s *Solver) PathWith(src, dst Vertex, engine Engine) ([]Vertex, float64, error) {
+	kind := core.KindSequential
+	if engine != EngineAuto {
+		var err error
+		if kind, err = engineKind(engine); err != nil {
+			return nil, 0, err
+		}
+	}
+	ws := s.getWS()
+	d, dist, _, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, kind, s.params, ws)
+	s.wsPool.Put(ws)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -2,6 +2,8 @@ package radiusstep
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"radiusstep/internal/core"
 	"radiusstep/internal/graph"
@@ -41,12 +43,16 @@ const (
 	HeuristicDP     = preprocess.DP
 )
 
-// Engine selects the radius-stepping implementation a Solver uses.
+// Engine selects the stepping engine a Solver uses. All engines share
+// one driver and produce identical distances; they differ in how each
+// step's settling threshold is chosen and in their fringe structures
+// (see internal/core's stepping-engine framework).
 type Engine int
 
 const (
 	// EngineAuto picks EngineParallel for large graphs and
-	// EngineSequential for small ones.
+	// EngineSequential for small ones. As a per-query override it means
+	// "no override": the solver's configured engine applies.
 	EngineAuto Engine = iota
 	// EngineSequential is the lazy-heap reference implementation —
 	// fastest on a single core and the engine experiments count with.
@@ -57,6 +63,15 @@ const (
 	// EngineFlat is the §3.4 frontier engine (no ordered sets); on
 	// unweighted graphs this is the parallel-BFS-style variant.
 	EngineFlat
+	// EngineDelta is Δ-stepping expressed in the unified framework:
+	// each step settles everything below the ceiling of the lowest
+	// occupied Δ-bucket. It ignores the radii (Options.Delta tunes the
+	// bucket width; 0 derives one from the graph).
+	EngineDelta
+	// EngineRho is ρ-stepping: each step settles at least the ρ closest
+	// fringe vertices (Options.Rho doubles as the quota). It ignores
+	// the radii.
+	EngineRho
 )
 
 // String names the engine.
@@ -70,6 +85,10 @@ func (e Engine) String() string {
 		return "parallel"
 	case EngineFlat:
 		return "flat"
+	case EngineDelta:
+		return "delta"
+	case EngineRho:
+		return "rho"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -93,8 +112,8 @@ func ParseHeuristic(name string) (Heuristic, error) {
 }
 
 // ParseEngine maps an engine name to its value, accepting both the
-// String() names (auto, sequential, parallel, flat) and the short CLI
-// aliases (seq, par).
+// String() names (auto, sequential, parallel, flat, delta, rho) and the
+// short CLI aliases (seq, par).
 func ParseEngine(name string) (Engine, error) {
 	switch name {
 	case "auto":
@@ -105,8 +124,12 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineParallel, nil
 	case "flat":
 		return EngineFlat, nil
+	case "delta":
+		return EngineDelta, nil
+	case "rho":
+		return EngineRho, nil
 	default:
-		return EngineAuto, fmt.Errorf("radiusstep: unknown engine %q (want auto|seq|par|flat)", name)
+		return EngineAuto, fmt.Errorf("radiusstep: unknown engine %q (want auto|seq|par|flat|delta|rho)", name)
 	}
 }
 
@@ -114,6 +137,7 @@ func ParseEngine(name string) (Engine, error) {
 type Options struct {
 	// Rho is the ball size ρ (>= 1): each step settles about ρ vertices,
 	// so depth shrinks and preprocessing cost grows with ρ. Default 32.
+	// EngineRho reuses it as the per-step extraction quota.
 	Rho int
 	// K is the hop budget k (>= 1, default 1): larger k adds fewer
 	// shortcut edges but allows up to k+2 substeps per step.
@@ -122,6 +146,10 @@ type Options struct {
 	Heuristic Heuristic
 	// Engine picks the query implementation (default EngineAuto).
 	Engine Engine
+	// Delta is the Δ-stepping bucket width used by EngineDelta
+	// (0 derives max-weight/mean-degree from the graph; other engines
+	// ignore it).
+	Delta float64
 }
 
 func (o *Options) setDefaults() {
@@ -134,6 +162,28 @@ func (o *Options) setDefaults() {
 	if o.K > 1 && o.Heuristic == HeuristicDirect {
 		o.Heuristic = HeuristicDP
 	}
+}
+
+// validate rejects option values that setDefaults would otherwise let
+// slip through (a negative Rho or K is never a default request, it is a
+// bug in the caller).
+func (o Options) validate() error {
+	if o.Rho < 0 {
+		return fmt.Errorf("radiusstep: Rho %d is negative (use 0 for the default, or >= 1)", o.Rho)
+	}
+	if o.K < 0 {
+		return fmt.Errorf("radiusstep: K %d is negative (use 0 for the default, or >= 1)", o.K)
+	}
+	if o.Delta < 0 || math.IsNaN(o.Delta) {
+		return fmt.Errorf("radiusstep: Delta %v must be >= 0 (0 derives a default)", o.Delta)
+	}
+	if o.Engine < EngineAuto || o.Engine > EngineRho {
+		return fmt.Errorf("radiusstep: unknown engine %d", int(o.Engine))
+	}
+	if o.Heuristic < HeuristicDirect || o.Heuristic > HeuristicDP {
+		return fmt.Errorf("radiusstep: unknown heuristic %d", int(o.Heuristic))
+	}
+	return nil
 }
 
 // WithDefaults returns o with the solver defaults filled in (Rho 32,
@@ -166,8 +216,13 @@ type Preprocessed struct {
 
 // Preprocess converts g into a (k, ρ)-graph per opt and derives the
 // per-vertex radii. The input graph is not modified. Rho is clamped to
-// the vertex count (a ball cannot exceed the graph).
+// the vertex count (a ball cannot exceed the graph). Invalid options
+// (negative Rho, K or Delta, unknown engine or heuristic) are rejected
+// with a clear error rather than silently defaulted.
 func Preprocess(g *Graph, opt Options) (*Preprocessed, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt.setDefaults()
 	if n := g.NumVertices(); opt.Rho > n && n > 0 {
 		opt.Rho = n
@@ -198,22 +253,29 @@ func Radii(g *Graph, rho int) ([]float64, error) {
 // Solver answers repeated single-source shortest-path queries over a
 // preprocessed graph. Construct with NewSolver (which preprocesses) or
 // NewSolverPre (re-using an existing Preprocessed). A Solver is safe for
-// concurrent queries: each Distances call works on its own state.
+// concurrent queries: each solve takes a pooled workspace, so repeated
+// queries are allocation-free in steady state beyond the returned
+// distance vectors.
 type Solver struct {
 	pre    *Preprocessed
 	engine Engine
+	params core.Params
+	wsPool sync.Pool // of *core.Workspace
 }
 
 // NewSolver preprocesses g per opt and returns a query object. The
 // preprocessing cost is amortized over all subsequent queries (§5.4:
 // raise Rho when many sources will be queried).
 func NewSolver(g *Graph, opt Options) (*Solver, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt.setDefaults()
 	pre, err := Preprocess(g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{pre: pre, engine: opt.Engine}, nil
+	return newSolver(pre, opt.Engine, core.Params{Delta: opt.Delta, Rho: opt.Rho}), nil
 }
 
 // NewSolverPre wraps an existing preprocessing result.
@@ -221,7 +283,42 @@ func NewSolverPre(pre *Preprocessed, engine Engine) (*Solver, error) {
 	if pre == nil || pre.Graph == nil || len(pre.Radii) != pre.Graph.NumVertices() {
 		return nil, fmt.Errorf("radiusstep: invalid preprocessed input")
 	}
-	return &Solver{pre: pre, engine: engine}, nil
+	if engine < EngineAuto || engine > EngineRho {
+		return nil, fmt.Errorf("radiusstep: unknown engine %d", int(engine))
+	}
+	return newSolver(pre, engine, core.Params{}), nil
+}
+
+// newSolver finalizes the strategy parameters: the Δ default is derived
+// once here (it scans the weights) so per-query engine overrides never
+// pay for it on the hot path.
+func newSolver(pre *Preprocessed, engine Engine, params core.Params) *Solver {
+	if !(params.Delta > 0) {
+		params.Delta = core.DefaultDelta(pre.Graph)
+	}
+	return &Solver{pre: pre, engine: engine, params: params}
+}
+
+// SetDelta overrides the Δ-stepping bucket width EngineDelta uses
+// (<= 0 restores the derived default). It exists so deployments loading
+// persisted preprocessing (snapshots, bundles) can still tune the
+// query-time strategy; call it before serving queries — it is not
+// synchronized with in-flight solves.
+func (s *Solver) SetDelta(delta float64) {
+	if !(delta > 0) {
+		delta = core.DefaultDelta(s.pre.Graph)
+	}
+	s.params.Delta = delta
+}
+
+// getWS takes a workspace from the solver's pool (or makes one). Callers
+// return it with wsPool.Put; buffers are grow-only, so steady-state
+// queries on one graph reuse the same allocations.
+func (s *Solver) getWS() *core.Workspace {
+	if v := s.wsPool.Get(); v != nil {
+		return v.(*core.Workspace)
+	}
+	return core.NewWorkspace()
 }
 
 // Preprocessed exposes the solver's augmented graph and radii.
@@ -254,6 +351,9 @@ func NewSnapshot(pre *Preprocessed, opt Options) (*Snapshot, error) {
 // without re-running preprocessing. The snapshot must carry radii (i.e.
 // it was written from a preprocessing result, not a bare format
 // conversion); otherwise preprocess the snapshot's graph with NewSolver.
+// The persisted ρ becomes the ρ-stepping quota, so a snapshot-loaded
+// solver answers engine=rho queries with the same step structure as one
+// preprocessed in-process with that ρ.
 func SolverFromSnapshot(s *Snapshot, engine Engine) (*Solver, error) {
 	if s == nil || s.G == nil {
 		return nil, fmt.Errorf("radiusstep: nil snapshot")
@@ -261,37 +361,78 @@ func SolverFromSnapshot(s *Snapshot, engine Engine) (*Solver, error) {
 	if s.Radii == nil {
 		return nil, fmt.Errorf("radiusstep: snapshot has no radii; preprocess its graph with NewSolver instead")
 	}
-	return NewSolverPre(&Preprocessed{
+	if len(s.Radii) != s.G.NumVertices() {
+		return nil, fmt.Errorf("radiusstep: snapshot radii/graph size mismatch")
+	}
+	if engine < EngineAuto || engine > EngineRho {
+		return nil, fmt.Errorf("radiusstep: unknown engine %d", int(engine))
+	}
+	return newSolver(&Preprocessed{
 		Graph:    s.G,
 		Original: s.Original,
 		Radii:    s.Radii,
-	}, engine)
+	}, engine, core.Params{Rho: s.Rho}), nil
 }
 
 // autoThreshold: below this many arcs the sequential engine wins.
 const autoThreshold = 1 << 17
 
-func (s *Solver) pick() Engine {
-	if s.engine != EngineAuto {
-		return s.engine
+// resolve maps an engine request to a concrete engine: EngineAuto falls
+// back to the solver's configured engine, and a still-auto choice picks
+// by graph size.
+func (s *Solver) resolve(e Engine) Engine {
+	if e == EngineAuto {
+		e = s.engine
 	}
-	if s.pre.Graph.NumArcs() >= autoThreshold {
-		return EngineParallel
+	if e == EngineAuto {
+		if s.pre.Graph.NumArcs() >= autoThreshold {
+			return EngineParallel
+		}
+		return EngineSequential
 	}
-	return EngineSequential
+	return e
+}
+
+// engineKind maps the public Engine enum onto the framework's kinds.
+// Engine must already be resolved (not EngineAuto).
+func engineKind(e Engine) (core.EngineKind, error) {
+	switch e {
+	case EngineSequential:
+		return core.KindSequential, nil
+	case EngineParallel:
+		return core.KindParallel, nil
+	case EngineFlat:
+		return core.KindFlat, nil
+	case EngineDelta:
+		return core.KindDelta, nil
+	case EngineRho:
+		return core.KindRho, nil
+	default:
+		return 0, fmt.Errorf("radiusstep: unknown engine %d", int(e))
+	}
 }
 
 // Distances returns the shortest-path distances from src on the original
-// metric (+Inf for unreachable vertices) and the round statistics.
+// metric (+Inf for unreachable vertices) and the round statistics, using
+// the solver's configured engine.
 func (s *Solver) Distances(src Vertex) ([]float64, Stats, error) {
-	switch s.pick() {
-	case EngineParallel:
-		return core.Solve(s.pre.Graph, s.pre.Radii, src)
-	case EngineFlat:
-		return core.SolveFlat(s.pre.Graph, s.pre.Radii, src)
-	default:
-		return core.SolveRef(s.pre.Graph, s.pre.Radii, src)
+	return s.DistancesWith(src, EngineAuto)
+}
+
+// DistancesWith is Distances with a per-query engine override:
+// EngineAuto means "no override" (the solver's configured engine
+// applies); any other value selects that engine for this query only.
+// Every engine returns identical distances, so overrides are safe to
+// mix freely — the daemon uses this to honor ?engine= per request.
+func (s *Solver) DistancesWith(src Vertex, engine Engine) ([]float64, Stats, error) {
+	kind, err := engineKind(s.resolve(engine))
+	if err != nil {
+		return nil, Stats{}, err
 	}
+	ws := s.getWS()
+	d, st, err := core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, s.params, ws)
+	s.wsPool.Put(ws)
+	return d, st, err
 }
 
 // DistancesTrace is Distances with a per-step observer (sequential
@@ -300,39 +441,61 @@ func (s *Solver) DistancesTrace(src Vertex, fn func(StepTrace)) ([]float64, Stat
 	return core.SolveRefTrace(s.pre.Graph, s.pre.Radii, src, fn)
 }
 
-// SolveWithRadii runs radius-stepping directly with caller-provided
+// SolveWithRadii runs a stepping engine directly with caller-provided
 // radii (correct for any non-negative radii; the step bounds require the
-// (k,ρ) property). Exposed for experimentation — most callers want
-// Solver.
+// (k,ρ) property; EngineDelta and EngineRho ignore the radii). Exposed
+// for experimentation — most callers want Solver.
 func SolveWithRadii(g *Graph, radii []float64, src Vertex, engine Engine) ([]float64, Stats, error) {
-	switch engine {
-	case EngineParallel:
-		return core.Solve(g, radii, src)
-	case EngineFlat:
-		return core.SolveFlat(g, radii, src)
-	default:
-		return core.SolveRef(g, radii, src)
+	if engine == EngineAuto {
+		engine = EngineSequential
 	}
+	kind, err := engineKind(engine)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return core.SolveKind(g, radii, src, kind, core.Params{}, nil)
 }
 
-// DistancesBatch answers queries from many sources, running the
-// sequential engine on each source with sources distributed across
-// cores — the layout the paper's multi-source amortization argument
-// (§5.4) targets. The result holds one distance vector per source
-// (memory is len(sources)·n·8 bytes).
+// DistancesBatch answers queries from many sources with the solver's
+// configured engine. For the sequential engine (and EngineAuto, whose
+// batch shape is source-level parallelism — the layout the paper's
+// multi-source amortization argument §5.4 targets) the sources are
+// distributed across cores, each worker reusing a pooled workspace. An
+// explicitly parallel engine runs the sources one at a time, each solve
+// using all cores, so the machine is never oversubscribed. The result
+// holds one distance vector per source (memory is len(sources)·n·8
+// bytes).
 func (s *Solver) DistancesBatch(sources []Vertex) ([][]float64, []Stats, error) {
+	eng := s.engine
+	if eng == EngineAuto {
+		eng = EngineSequential
+	}
+	kind, err := engineKind(eng)
+	if err != nil {
+		return nil, nil, err
+	}
 	dists := make([][]float64, len(sources))
 	stats := make([]Stats, len(sources))
 	errs := make([]error, len(sources))
-	parallel.Workers(len(sources), func(_ int, claim func() (int, bool)) {
-		for {
-			i, ok := claim()
-			if !ok {
-				return
+	if kind == core.KindSequential {
+		parallel.Workers(len(sources), func(_ int, claim func() (int, bool)) {
+			ws := s.getWS()
+			defer s.wsPool.Put(ws)
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				dists[i], stats[i], errs[i] = core.SolveKind(s.pre.Graph, s.pre.Radii, sources[i], kind, s.params, ws)
 			}
-			dists[i], stats[i], errs[i] = core.SolveRef(s.pre.Graph, s.pre.Radii, sources[i])
+		})
+	} else {
+		ws := s.getWS()
+		for i, src := range sources {
+			dists[i], stats[i], errs[i] = core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, s.params, ws)
 		}
-	})
+		s.wsPool.Put(ws)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err

@@ -1,0 +1,206 @@
+package radiusstep_test
+
+import (
+	"math"
+	"testing"
+
+	rs "radiusstep"
+)
+
+// TestDistancesSteadyStateAllocs is the allocation-regression gate: on
+// the sequential engine with a warmed workspace pool, a Distances call
+// allocates O(1) — essentially just the returned vector. The graph is
+// kept under the parallel primitives' sequential-fallback grain so no
+// goroutines (which allocate) are spawned. CI runs this test by name.
+func TestDistancesSteadyStateAllocs(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(20, 20), 1, 100, 3)
+	s, err := rs.NewSolver(g, rs.Options{Rho: 8, Engine: rs.EngineSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool: first solves grow the workspace buffers.
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Distances(rs.Vertex(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := s.Distances(7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 1 alloc for the result vector plus a little slack for the runtime;
+	// the pre-workspace implementation allocated O(n) slices per solve.
+	if allocs > 4 {
+		t.Fatalf("steady-state Distances allocates %v objects per solve, want <= 4", allocs)
+	}
+}
+
+// TestDistancesWithOverride: every per-query override returns identical
+// distances and reports its engine in the stats.
+func TestDistancesWithOverride(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(16, 16), 1, 60, 9)
+	s, err := rs.NewSolver(g, rs.Options{Rho: 8, Engine: rs.EngineSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rs.Dijkstra(g, 5)
+	overrides := map[rs.Engine]string{
+		rs.EngineAuto:       "sequential", // no override: solver's engine
+		rs.EngineSequential: "sequential",
+		rs.EngineParallel:   "parallel",
+		rs.EngineFlat:       "flat",
+		rs.EngineDelta:      "delta",
+		rs.EngineRho:        "rho",
+	}
+	for eng, name := range overrides {
+		dist, st, err := s.DistancesWith(5, eng)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if st.Engine != name {
+			t.Fatalf("override %v: Stats.Engine = %q, want %q", eng, st.Engine, name)
+		}
+		for v := range dist {
+			if math.Float64bits(dist[v]) != math.Float64bits(want[v]) {
+				t.Fatalf("override %v: dist[%d] = %v, want %v", eng, v, dist[v], want[v])
+			}
+		}
+	}
+	if _, _, err := s.DistancesWith(5, rs.Engine(42)); err == nil {
+		t.Fatal("invalid engine override accepted")
+	}
+}
+
+// TestDistancesBatchHonorsEngine is the regression test for the batch
+// path silently ignoring the solver's configured engine (it always ran
+// the sequential reference): the framework now reports which engine ran
+// in each Stats, so the contract is directly observable.
+func TestDistancesBatchHonorsEngine(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(14, 14), 1, 40, 4)
+	sources := []rs.Vertex{0, 5, 60}
+	oracle := make([][]float64, len(sources))
+	for i, src := range sources {
+		oracle[i] = rs.Dijkstra(g, src)
+	}
+	for _, tc := range []struct {
+		engine rs.Engine
+		want   string
+	}{
+		{rs.EngineAuto, "sequential"}, // auto batch = source-level parallelism
+		{rs.EngineSequential, "sequential"},
+		{rs.EngineFlat, "flat"},
+		{rs.EngineDelta, "delta"},
+		{rs.EngineRho, "rho"},
+	} {
+		s, err := rs.NewSolver(g, rs.Options{Rho: 8, Engine: tc.engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists, stats, err := s.DistancesBatch(sources)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.engine, err)
+		}
+		for i := range sources {
+			if stats[i].Engine != tc.want {
+				t.Fatalf("engine %v: batch solve %d ran %q, want %q", tc.engine, i, stats[i].Engine, tc.want)
+			}
+			for v := range dists[i] {
+				if math.Float64bits(dists[i][v]) != math.Float64bits(oracle[i][v]) {
+					t.Fatalf("engine %v source %d: dist[%d] = %v, want %v", tc.engine, sources[i], v, dists[i][v], oracle[i][v])
+				}
+			}
+		}
+	}
+}
+
+// TestOptionsValidation: negative knobs and out-of-range enums must be
+// rejected with a clear error instead of slipping past setDefaults.
+func TestOptionsValidation(t *testing.T) {
+	g := rs.Grid2D(4, 4)
+	bad := []rs.Options{
+		{Rho: -1},
+		{K: -3},
+		{Delta: -0.5},
+		{Delta: math.NaN()},
+		{Engine: rs.Engine(99)},
+		{Engine: rs.Engine(-2)},
+		{Heuristic: rs.Heuristic(17)},
+	}
+	for i, opt := range bad {
+		if _, err := rs.NewSolver(g, opt); err == nil {
+			t.Fatalf("case %d: NewSolver accepted %+v", i, opt)
+		}
+		if _, err := rs.Preprocess(g, opt); err == nil {
+			t.Fatalf("case %d: Preprocess accepted %+v", i, opt)
+		}
+	}
+	if _, err := rs.NewSolver(g, rs.Options{}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	if _, err := rs.NewSolverPre(nil, rs.EngineAuto); err == nil {
+		t.Fatal("nil preprocessed accepted")
+	}
+}
+
+// TestSnapshotSolverRhoQuota: a snapshot-loaded solver must answer
+// engine=rho queries with the persisted ρ as its quota, matching the
+// step structure of an in-process solver preprocessed with the same ρ
+// (regression: the snapshot path used to fall back to the default 32).
+func TestSnapshotSolverRhoQuota(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(18, 18), 1, 80, 2)
+	s1, err := rs.NewSolver(g, rs.Options{Rho: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rs.NewSnapshot(s1.Preprocessed(), rs.Options{Rho: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rs.SolverFromSnapshot(snap, rs.EngineRho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := s1.DistancesWith(0, rs.EngineRho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := s2.Distances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Engine != "rho" {
+		t.Fatalf("snapshot solver ran %q", st2.Engine)
+	}
+	if st1.Steps != st2.Steps {
+		t.Fatalf("rho-quota lost through snapshot: %d steps in-process vs %d from snapshot", st1.Steps, st2.Steps)
+	}
+}
+
+// TestPathWithEngines: point-to-point queries agree across engines.
+func TestPathWithEngines(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(12, 12), 1, 30, 6)
+	s, err := rs.NewSolver(g, rs.Options{Rho: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath, wantD, err := s.Path(0, 143)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantPath) == 0 {
+		t.Fatal("no default path")
+	}
+	for _, eng := range []rs.Engine{rs.EngineParallel, rs.EngineFlat, rs.EngineDelta, rs.EngineRho} {
+		path, d, err := s.PathWith(0, 143, eng)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if d != wantD {
+			t.Fatalf("%v: distance %v, want %v", eng, d, wantD)
+		}
+		if got, err := rs.PathLength(g, path); err != nil || got != wantD {
+			t.Fatalf("%v: path length %v (%v), want %v", eng, got, err, wantD)
+		}
+	}
+}
