@@ -42,6 +42,7 @@ func main() {
 	rho := flag.Int("rho", 0, "ball size ρ (0 = solver default 32)")
 	k := flag.Int("k", 0, "hop budget k (0 = solver default 1)")
 	heuristic := flag.String("heuristic", "", "shortcut heuristic for k>1: direct|greedy|dp")
+	order := flag.String("order", "none", "cache-locality vertex order: bfs|degree|none; the snapshot stores the permutation and ssspd maps ids transparently")
 	raw := flag.Bool("raw", false, "skip preprocessing: write a graph-only snapshot (no radii)")
 	out := flag.String("o", "", "output snapshot path (required)")
 	flag.Parse()
@@ -91,10 +92,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loaded %s: n=%d m=%d L=%g (%v)\n",
 		origin, g.NumVertices(), g.NumEdges(), g.MaxWeight(), loadTime.Round(time.Millisecond))
 
+	// Relabel for cache locality BEFORE preprocessing, so the radii, the
+	// shortcut edges, and both stored graphs live in the reordered id
+	// space; the permutation rides along in the snapshot and the daemon
+	// maps queries back to original ids transparently.
+	perm, err := rs.OrderByName(g, *order)
+	if err != nil {
+		fail("graphpack: %v", err)
+	}
+	if perm != nil {
+		t1 := time.Now()
+		g = rs.ApplyOrder(g, perm)
+		fmt.Fprintf(os.Stderr, "reordered vertices (%s) (%v)\n", *order, time.Since(t1).Round(time.Millisecond))
+	}
+
 	// Preprocess (unless -raw) and assemble the snapshot.
 	var snap *rs.Snapshot
 	if *raw {
-		snap = &rs.Snapshot{G: g}
+		snap = &rs.Snapshot{G: g, Perm: perm}
 		fmt.Fprintf(os.Stderr, "raw conversion: no radii; ssspd will preprocess at load time\n")
 	} else {
 		opt := rs.Options{Rho: *rho, K: *k}
@@ -115,6 +130,7 @@ func main() {
 		if err != nil {
 			fail("graphpack: %v", err)
 		}
+		snap.Perm = perm
 		fmt.Fprintf(os.Stderr, "preprocessed rho=%d k=%d heuristic=%s: +%d shortcuts, visited %d, scanned %d (%v)\n",
 			eff.Rho, eff.K, eff.Heuristic, pre.Added, pre.Visited, pre.EdgesScanned,
 			time.Since(t1).Round(time.Millisecond))

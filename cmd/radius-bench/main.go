@@ -8,10 +8,14 @@
 //	radius-bench -exp all -scale tiny
 //	radius-bench -engines all -gen road -n 100000 -trials 9
 //	radius-bench -engines seq,delta,rho -gen web -n 50000
+//	radius-bench -compare BENCH_4.json
 //
 // The -engines matrix mode emits per-engine p50/p90 solve latency and
 // per-solve allocation counts as JSON (the BENCH_* trajectory seed); it
 // exercises the same per-query engine-override path the daemon serves.
+// The -compare mode re-runs the workloads recorded in a committed
+// baseline file and exits nonzero when any engine's p50 latency
+// regressed by more than -compare-threshold (default 25%).
 //
 // Scales: tiny (seconds), default (minutes), full (closer to the paper's
 // sizes; expect long runtimes — preprocessing is Θ(nρ²)).
@@ -39,12 +43,21 @@ func main() {
 	rho := flag.Int("rho", 32, "matrix mode: preprocessing ball size (and rho-stepping quota)")
 	trials := flag.Int("trials", 9, "matrix mode: timed solves per engine")
 	seed := flag.Uint64("seed", 42, "matrix mode: generator seed")
+	compare := flag.String("compare", "", "regression-gate mode: re-run the workloads in this baseline JSON (e.g. BENCH_4.json) and exit nonzero on p50 regressions")
+	threshold := flag.Float64("compare-threshold", 0.25, "compare mode: maximum tolerated p50 regression (0.25 = 25%)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments:")
 		for _, e := range bench.Experiments() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *compare != "" {
+		if err := bench.CompareEngineMatrix(os.Stdout, *compare, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -57,6 +57,25 @@ func ReorderByDegree(g *Graph) (*Graph, []Vertex) { return graph.ReorderByDegree
 // out[perm[i]] = in[i] (for carrying distances across ReorderBFS etc.).
 func PermuteFloats(in []float64, perm []Vertex) []float64 { return graph.PermuteFloats(in, perm) }
 
+// UnpermuteFloats maps a relabeled-id value vector back to original ids
+// (out[old] = in[perm[old]]), the inverse of PermuteFloats. Servers
+// answering queries over a reordered graph apply it to every distance
+// vector before returning it.
+func UnpermuteFloats(in []float64, perm []Vertex) []float64 { return graph.UnpermuteFloats(in, perm) }
+
+// InvertPerm returns the inverse permutation (inv[perm[old]] = old).
+func InvertPerm(perm []Vertex) []Vertex { return graph.InvertPerm(perm) }
+
+// OrderByName computes the relabeling permutation for a named vertex
+// order — "bfs", "degree", or "none" (nil) — the set cmd/graphpack's
+// -order flag accepts. See ReorderBFS and ReorderByDegree for when each
+// order pays off.
+func OrderByName(g *Graph, name string) ([]Vertex, error) { return graph.OrderByName(g, name) }
+
+// ApplyOrder relabels g by perm (perm[old] = new). It panics if perm is
+// not a permutation of [0, n).
+func ApplyOrder(g *Graph, perm []Vertex) *Graph { return graph.ApplyOrder(g, perm) }
+
 // --- serialization -------------------------------------------------------
 
 // ReadGraph parses the text edge-list format ("p sssp n m" header).
@@ -112,10 +131,9 @@ func LoadGraphFile(path string) (*Graph, GraphFormat, error) {
 		if serr != nil {
 			return nil, FormatSnapshot, serr
 		}
-		if s.Original != nil {
-			return s.Original, FormatSnapshot, nil
-		}
-		return s.G, FormatSnapshot, nil
+		// InputGraph undoes any pack-time relabeling: this function's
+		// contract is "the real input graph, original ids".
+		return s.InputGraph(), FormatSnapshot, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, FormatUnknown, err

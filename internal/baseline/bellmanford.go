@@ -78,6 +78,12 @@ func BellmanFordParallel(g *graph.CSR, src graph.V) ([]float64, int) {
 	return parallel.BitsToFloats(bits), rounds
 }
 
+// frontierGrain is the batched-claim size for per-vertex frontier loops
+// in the parallel baselines: enough vertices per atomic claim that
+// scheduling vanishes next to the relaxation work, small enough that
+// skewed degree distributions still load-balance.
+const frontierGrain = 64
+
 // relaxFrontier relaxes every arc out of frontier with WriteMin and
 // returns the deduplicated set of vertices whose distance improved.
 // Rounds are synchronous (sources snapshotted first), so round counts
@@ -89,21 +95,23 @@ func relaxFrontier(g *graph.CSR, bits []uint64, stamp []uint32, round uint32, fr
 	parallel.For(len(frontier), func(i int) {
 		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
 	})
-	parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
+	parallel.WorkersGrain(len(frontier), frontierGrain, func(w int, claim func() (int, int, bool)) {
 		var local []graph.V
 		for {
-			i, ok := claim()
+			lo, hi, ok := claim()
 			if !ok {
 				break
 			}
-			u := frontier[i]
-			du := snap[i]
-			adj, ws := g.Neighbors(u)
-			for j, v := range adj {
-				nb := parallel.ToBits(du + ws[j])
-				if parallel.WriteMin(&bits[v], nb) {
-					if parallel.Claim(&stamp[v], round) {
-						local = append(local, v)
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				du := snap[i]
+				adj, ws := g.Neighbors(u)
+				for j, v := range adj {
+					nb := parallel.ToBits(du + ws[j])
+					if parallel.WriteMin(&bits[v], nb) {
+						if parallel.Claim(&stamp[v], round) {
+							local = append(local, v)
+						}
 					}
 				}
 			}

@@ -53,18 +53,20 @@ func BFSParallel(g *graph.CSR, src graph.V) (dist []int32, levels int) {
 		depth++
 		level := depth // level index being discovered this round
 		parts := make([][]graph.V, p)
-		parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
+		parallel.WorkersGrain(len(frontier), frontierGrain, func(w int, claim func() (int, int, bool)) {
 			var local []graph.V
 			for {
-				i, ok := claim()
+				lo, hi, ok := claim()
 				if !ok {
 					break
 				}
-				adj, _ := g.Neighbors(frontier[i])
-				for _, v := range adj {
-					if parallel.Claim(&visited[v], 1) {
-						dist[v] = level
-						local = append(local, v)
+				for i := lo; i < hi; i++ {
+					adj, _ := g.Neighbors(frontier[i])
+					for _, v := range adj {
+						if parallel.Claim(&visited[v], 1) {
+							dist[v] = level
+							local = append(local, v)
+						}
 					}
 				}
 			}

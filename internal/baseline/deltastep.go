@@ -64,26 +64,28 @@ func DeltaStepping(g *graph.CSR, src graph.V, delta float64) ([]float64, DeltaSt
 			snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
 		})
 		var relaxed atomic.Int64
-		parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
+		parallel.WorkersGrain(len(frontier), frontierGrain, func(w int, claim func() (int, int, bool)) {
 			var local []graph.V
 			for {
-				i, ok := claim()
+				lo, hi, ok := claim()
 				if !ok {
 					break
 				}
-				u := frontier[i]
-				du := snap[i]
-				adj, ws := g.Neighbors(u)
-				for j, v := range adj {
-					isLight := ws[j] <= delta
-					if isLight != light {
-						continue
-					}
-					nb := parallel.ToBits(du + ws[j])
-					if parallel.WriteMin(&bits[v], nb) {
-						relaxed.Add(1)
-						if parallel.Claim(&stamp[v], round) {
-							local = append(local, v)
+				for i := lo; i < hi; i++ {
+					u := frontier[i]
+					du := snap[i]
+					adj, ws := g.Neighbors(u)
+					for j, v := range adj {
+						isLight := ws[j] <= delta
+						if isLight != light {
+							continue
+						}
+						nb := parallel.ToBits(du + ws[j])
+						if parallel.WriteMin(&bits[v], nb) {
+							relaxed.Add(1)
+							if parallel.Claim(&stamp[v], round) {
+								local = append(local, v)
+							}
 						}
 					}
 				}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -39,9 +40,15 @@ type EngineBenchRow struct {
 	Relaxations    int64   `json:"relaxations"`
 }
 
-// engineMatrixReport is the JSON envelope emitted by RunEngineMatrix.
-type engineMatrixReport struct {
+// EngineMatrixReport is the JSON envelope emitted by RunEngineMatrix.
+// It carries the full run configuration (generator, size, seed, weights)
+// so a committed baseline file can be re-run and compared on the same
+// workload by CompareEngineMatrix.
+type EngineMatrixReport struct {
 	Graph    string           `json:"graph"`
+	N        int              `json:"n"`
+	Seed     uint64           `json:"seed"`
+	Weights  int              `json:"weights"`
 	Vertices int              `json:"vertices"`
 	Edges    int              `json:"edges"`
 	Rho      int              `json:"rho"`
@@ -60,6 +67,18 @@ func AllEngineNames() []string {
 // code path the daemon's ?engine= parameter takes — reporting p50/p90
 // solve latency and per-solve allocation counts as JSON.
 func RunEngineMatrix(w io.Writer, cfg EngineMatrixConfig) error {
+	report, err := MeasureEngineMatrix(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// MeasureEngineMatrix runs the matrix and returns the report instead of
+// encoding it; RunEngineMatrix and CompareEngineMatrix share it.
+func MeasureEngineMatrix(cfg EngineMatrixConfig) (*EngineMatrixReport, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 9
 	}
@@ -72,19 +91,22 @@ func RunEngineMatrix(w io.Writer, cfg EngineMatrixConfig) error {
 	}
 	g, err := rs.GenerateByName(cfg.Gen, cfg.N, cfg.Seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if cfg.Weights > 0 {
 		g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
 	}
 	solver, err := rs.NewSolver(g, rs.Options{Rho: cfg.Rho})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	n := g.NumVertices()
 
-	report := engineMatrixReport{
+	report := &EngineMatrixReport{
 		Graph:    cfg.Gen,
+		N:        cfg.N,
+		Seed:     cfg.Seed,
+		Weights:  cfg.Weights,
 		Vertices: n,
 		Edges:    g.NumEdges(),
 		Rho:      cfg.Rho,
@@ -94,13 +116,13 @@ func RunEngineMatrix(w io.Writer, cfg EngineMatrixConfig) error {
 	for _, name := range engines {
 		eng, err := rs.ParseEngine(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Warm the workspace pool so the timed loop measures steady
 		// state, not first-solve buffer growth.
 		var lastStats rs.Stats
 		if _, lastStats, err = solver.DistancesWith(0, eng); err != nil {
-			return fmt.Errorf("engine %s: %v", name, err)
+			return nil, fmt.Errorf("engine %s: %v", name, err)
 		}
 
 		durs := make([]float64, cfg.Trials)
@@ -113,7 +135,7 @@ func RunEngineMatrix(w io.Writer, cfg EngineMatrixConfig) error {
 			_, st, err := solver.DistancesWith(src, eng)
 			durs[i] = float64(time.Since(t0).Microseconds())
 			if err != nil {
-				return fmt.Errorf("engine %s: %v", name, err)
+				return nil, fmt.Errorf("engine %s: %v", name, err)
 			}
 			lastStats = st
 		}
@@ -131,7 +153,75 @@ func RunEngineMatrix(w io.Writer, cfg EngineMatrixConfig) error {
 			Relaxations:    lastStats.Relaxations,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return report, nil
+}
+
+// ReadBaseline parses a baseline file written by radius-bench: either a
+// single EngineMatrixReport object or a JSON array of them (one report
+// per workload, the BENCH_* convention).
+func ReadBaseline(path string) ([]EngineMatrixReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var many []EngineMatrixReport
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one EngineMatrixReport
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("bench: baseline %s is neither a report nor a report array: %v", path, err)
+	}
+	return []EngineMatrixReport{one}, nil
+}
+
+// CompareEngineMatrix re-runs every workload recorded in the baseline
+// file on the current build and compares per-engine p50 latency. It
+// returns an error — the CI-gate signal — when any engine's p50 regressed
+// by more than maxRegress (0.25 = 25%). Improvements never fail the gate.
+func CompareEngineMatrix(w io.Writer, path string, maxRegress float64) error {
+	baselines, err := ReadBaseline(path)
+	if err != nil {
+		return err
+	}
+	if len(baselines) == 0 {
+		return fmt.Errorf("bench: baseline %s holds no reports", path)
+	}
+	var regressions []string
+	for _, base := range baselines {
+		if base.Procs != runtime.GOMAXPROCS(0) {
+			fmt.Fprintf(w, "# warning: baseline %s/%s recorded at GOMAXPROCS=%d, running at %d\n",
+				path, base.Graph, base.Procs, runtime.GOMAXPROCS(0))
+		}
+		var engines []string
+		for _, row := range base.Rows {
+			engines = append(engines, row.Engine)
+		}
+		cur, err := MeasureEngineMatrix(EngineMatrixConfig{
+			Gen: base.Graph, N: base.N, Weights: base.Weights, Rho: base.Rho,
+			Seed: base.Seed, Trials: base.Trials, Engines: engines,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: re-running %s workload: %v", base.Graph, err)
+		}
+		fmt.Fprintf(w, "workload %s (n=%d, m=%d, rho=%d, trials=%d)\n",
+			base.Graph, cur.Vertices, cur.Edges, base.Rho, base.Trials)
+		fmt.Fprintf(w, "  %-12s %14s %14s %8s\n", "engine", "base p50 (µs)", "now p50 (µs)", "ratio")
+		for i, bRow := range base.Rows {
+			cRow := cur.Rows[i]
+			ratio := cRow.P50Micros / bRow.P50Micros
+			mark := ""
+			if bRow.P50Micros > 0 && ratio > 1+maxRegress {
+				mark = "  REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s p50 %.0fµs -> %.0fµs (%.2fx)", base.Graph, bRow.Engine, bRow.P50Micros, cRow.P50Micros, ratio))
+			}
+			fmt.Fprintf(w, "  %-12s %14.0f %14.0f %7.2fx%s\n", bRow.Engine, bRow.P50Micros, cRow.P50Micros, ratio, mark)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: %d engine(s) regressed more than %.0f%%: %v",
+			len(regressions), maxRegress*100, regressions)
+	}
+	return nil
 }

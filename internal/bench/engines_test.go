@@ -3,6 +3,8 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"os"
 	"testing"
 )
 
@@ -37,5 +39,107 @@ func TestRunEngineMatrix(t *testing.T) {
 	}
 	if err := RunEngineMatrix(&buf, EngineMatrixConfig{Gen: "grid2d", N: 100, Engines: []string{"bogus"}}); err == nil {
 		t.Fatal("unknown engine accepted")
+	}
+}
+
+// BenchmarkEngineMatrixTiny is the CI perf-smoke target: one tiny
+// engine-matrix run per iteration, exercising build + preprocess + all
+// five engines through the override path. CI runs it with -benchtime 1x
+// as a compile-and-run gate so the benchmark surface can never rot.
+func BenchmarkEngineMatrixTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureEngineMatrix(EngineMatrixConfig{
+			Gen: "grid2d", N: 1024, Weights: 100, Rho: 8, Trials: 3, Seed: 7,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareSelf re-runs a self-measured baseline through the
+// compare path (always a pass: same binary both sides).
+func BenchmarkCompareSelf(b *testing.B) {
+	report, err := MeasureEngineMatrix(EngineMatrixConfig{
+		Gen: "grid2d", N: 1024, Weights: 100, Rho: 8, Trials: 3, Seed: 7,
+		Engines: []string{"sequential", "delta"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	path := dir + "/base.json"
+	data, _ := json.Marshal([]EngineMatrixReport{*report})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A 100x threshold: this gate checks the machinery, not the
+		// noisy single-iteration timings.
+		if err := CompareEngineMatrix(io.Discard, path, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCompareEngineMatrix: a self-measured baseline passes with any
+// sane threshold, and a fabricated too-fast baseline trips the gate.
+func TestCompareEngineMatrix(t *testing.T) {
+	report, err := MeasureEngineMatrix(EngineMatrixConfig{
+		Gen: "grid2d", N: 400, Weights: 50, Rho: 8, Seed: 1, Trials: 3,
+		Engines: []string{"sequential"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/base.json"
+	write := func(r EngineMatrixReport) {
+		data, err := json.Marshal([]EngineMatrixReport{r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(*report)
+	// Generous threshold: same binary, must pass whatever the noise.
+	if err := CompareEngineMatrix(io.Discard, path, 1000); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	// A baseline claiming sub-microsecond solves must trip the gate.
+	fake := *report
+	fake.Rows = append([]EngineBenchRow(nil), report.Rows...)
+	for i := range fake.Rows {
+		fake.Rows[i].P50Micros = 0.001
+	}
+	write(fake)
+	if err := CompareEngineMatrix(io.Discard, path, 0.25); err == nil {
+		t.Fatal("fabricated regression not detected")
+	}
+}
+
+// TestReadBaselineShapes: both a bare report object and a report array
+// parse; garbage fails loudly.
+func TestReadBaselineShapes(t *testing.T) {
+	dir := t.TempDir()
+	one := EngineMatrixReport{Graph: "grid2d", N: 10, Trials: 1}
+	for name, v := range map[string]any{"arr.json": []EngineMatrixReport{one, one}, "one.json": one} {
+		data, _ := json.Marshal(v)
+		if err := os.WriteFile(dir+"/"+name, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := ReadBaseline(dir + "/arr.json"); err != nil || len(got) != 2 {
+		t.Fatalf("array baseline: %d reports, err %v", len(got), err)
+	}
+	if got, err := ReadBaseline(dir + "/one.json"); err != nil || len(got) != 1 {
+		t.Fatalf("single baseline: %d reports, err %v", len(got), err)
+	}
+	if err := os.WriteFile(dir+"/bad.json", []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(dir + "/bad.json"); err == nil {
+		t.Fatal("garbage baseline accepted")
 	}
 }

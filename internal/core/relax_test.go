@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"radiusstep/internal/baseline"
+	"radiusstep/internal/check"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+	"radiusstep/internal/preprocess"
+)
+
+// multiEdgeGraph hand-builds a CSR with genuine parallel arcs (the
+// Builder merges duplicates, so multigraphs can only arise from direct
+// construction or external data): vertices 0..3 with a doubled 0–1 edge
+// (weights 2 and 3), a zero-weight 1–2 edge, and a 0–3 edge.
+func multiEdgeGraph() *graph.CSR {
+	type arc struct {
+		u, v graph.V
+		w    float64
+	}
+	arcs := []arc{
+		{0, 1, 2}, {0, 1, 3}, {0, 3, 7},
+		{1, 0, 2}, {1, 0, 3}, {1, 2, 0},
+		{2, 1, 0},
+		{3, 0, 7},
+	}
+	g := &graph.CSR{Off: make([]int64, 5)}
+	for _, a := range arcs {
+		g.Off[a.u+1]++
+	}
+	for i := 1; i < len(g.Off); i++ {
+		g.Off[i] += g.Off[i-1]
+	}
+	g.Adj = make([]graph.V, len(arcs))
+	g.W = make([]float64, len(arcs))
+	pos := append([]int64(nil), g.Off[:4]...)
+	for _, a := range arcs {
+		g.Adj[pos[a.u]] = a.v
+		g.W[pos[a.u]] = a.w
+		pos[a.u]++
+	}
+	return g
+}
+
+// clique returns the complete unit-weight graph on n vertices — the
+// dense workload whose frontier arcs dominate the unsettled remainder,
+// forcing the adaptive rule into pull.
+func clique(n int) *graph.CSR {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.Add(graph.V(u), graph.V(v), 1)
+		}
+	}
+	return b.Build()
+}
+
+// TestFiveEnginesByteIdenticalPushAndPull is the cross-mode sibling of
+// TestFiveEnginesByteIdenticalDistances: every engine kind, forced
+// through push-only, pull-only, and adaptive substeps, must produce
+// byte-identical distances on random graphs with zero-weight edges and
+// disconnected components, on a genuine multigraph, and on a dense
+// clique. Run under -race by CI, which also exercises the parallel
+// push (edge-balanced) and pull (atomics-free sweep) kernels when
+// GOMAXPROCS > 1.
+func TestFiveEnginesByteIdenticalPushAndPull(t *testing.T) {
+	ws := NewWorkspace() // shared across kinds, modes, and graphs: pooled-buffer reuse
+	modes := []RelaxMode{RelaxPush, RelaxPull, RelaxAdaptive}
+	graphs := []*graph.CSR{
+		multiEdgeGraph(),
+		clique(40),
+	}
+	for trial := 0; trial < 12; trial++ {
+		n := 25 + trial*11
+		graphs = append(graphs, randomGraph(n, n*(1+trial%4), int64(trial)*7817+5))
+	}
+	for gi, g := range graphs {
+		n := g.NumVertices()
+		radii, err := preprocess.RadiiOnly(g, 1+gi%5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.V(gi % n)
+		want := baseline.Dijkstra(g, src)
+		for _, kind := range allKinds() {
+			for _, mode := range modes {
+				got, st, err := SolveKind(g, radii, src, kind, Params{Relax: mode}, ws)
+				if err != nil {
+					t.Fatalf("graph %d %s mode=%d: %v", gi, kind, mode, err)
+				}
+				for v := range got {
+					if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+						t.Fatalf("graph %d %s mode=%d: dist[%d] = %v, want %v",
+							gi, kind, mode, v, got[v], want[v])
+					}
+				}
+				if err := check.VerifyDistances(g, src, got); err != nil {
+					t.Fatalf("graph %d %s mode=%d: certificate: %v", gi, kind, mode, err)
+				}
+				if st.PushSubsteps+st.PullSubsteps != st.Substeps {
+					t.Fatalf("graph %d %s mode=%d: push %d + pull %d != substeps %d",
+						gi, kind, mode, st.PushSubsteps, st.PullSubsteps, st.Substeps)
+				}
+				switch mode {
+				case RelaxPush:
+					if st.PullSubsteps != 0 {
+						t.Fatalf("graph %d %s: forced push ran %d pull substeps", gi, kind, st.PullSubsteps)
+					}
+				case RelaxPull:
+					if st.PushSubsteps != 0 {
+						t.Fatalf("graph %d %s: forced pull ran %d push substeps", gi, kind, st.PushSubsteps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxModesKeepStepStructure: the mode only changes traversal
+// direction, never the updated sets, so step and substep counts must be
+// identical across modes for every engine.
+func TestRelaxModesKeepStepStructure(t *testing.T) {
+	g := randomGraph(300, 900, 99)
+	radii, err := preprocess.RadiiOnly(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allKinds() {
+		var ref Stats
+		for i, mode := range []RelaxMode{RelaxPush, RelaxPull, RelaxAdaptive} {
+			_, st, err := SolveKind(g, radii, 0, kind, Params{Relax: mode}, nil)
+			if err != nil {
+				t.Fatalf("%s mode=%d: %v", kind, mode, err)
+			}
+			if i == 0 {
+				ref = st
+				continue
+			}
+			if st.Steps != ref.Steps || st.Substeps != ref.Substeps {
+				t.Fatalf("%s mode=%d: steps/substeps %d/%d, push mode had %d/%d",
+					kind, mode, st.Steps, st.Substeps, ref.Steps, ref.Substeps)
+			}
+		}
+	}
+}
+
+// TestAdaptivePullTriggersOnDenseFrontier: on a clique the first step's
+// frontier carries almost every remaining arc, so the adaptive rule must
+// choose at least one pull substep for the parallel kinds. Pull only
+// pays off by skipping push's atomics, so the adaptive rule never picks
+// it single-threaded — raise GOMAXPROCS for the duration.
+func TestAdaptivePullTriggersOnDenseFrontier(t *testing.T) {
+	if parallel.Procs() == 1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	g := clique(48)
+	want := baseline.Dijkstra(g, 0)
+	got, st, err := SolveKind(g, nil, 0, KindDelta, Params{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := check.SameDistances(want, got, 0); i >= 0 {
+		t.Fatalf("clique distances wrong at %d", i)
+	}
+	if st.PullSubsteps == 0 {
+		t.Fatalf("adaptive mode never pulled on a clique (push=%d pull=%d)",
+			st.PushSubsteps, st.PullSubsteps)
+	}
+}
+
+// TestSolveKindRejectsUnknownRelaxMode: the force knob is validated like
+// every other enum in the framework.
+func TestSolveKindRejectsUnknownRelaxMode(t *testing.T) {
+	g := clique(4)
+	if _, _, err := SolveKind(g, nil, 0, KindDelta, Params{Relax: RelaxMode(9)}, nil); err == nil {
+		t.Fatal("unknown relax mode accepted")
+	}
+	if _, _, err := SolveKind(g, nil, 0, KindDelta, Params{Relax: RelaxMode(-1)}, nil); err == nil {
+		t.Fatal("negative relax mode accepted")
+	}
+}

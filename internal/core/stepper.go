@@ -56,8 +56,8 @@ func (k EngineKind) String() string {
 	}
 }
 
-// Params tunes the radius-free stepping strategies. The zero value
-// selects sensible defaults for both.
+// Params tunes the radius-free stepping strategies and the relaxation
+// substrate. The zero value selects sensible defaults for everything.
 type Params struct {
 	// Delta is the Δ-stepping bucket width (KindDelta). <= 0 derives
 	// DefaultDelta from the graph.
@@ -65,6 +65,12 @@ type Params struct {
 	// Rho is the ρ-stepping extraction quota (KindRho): each step
 	// settles (at least) the ρ closest fringe vertices. <= 0 selects 32.
 	Rho int
+	// Relax selects the substep traversal: RelaxAdaptive (default)
+	// switches between push and pull per substep; RelaxPush/RelaxPull
+	// force one direction (distances are identical either way — the
+	// force knobs exist for benchmarking and the cross-mode property
+	// tests).
+	Relax RelaxMode
 }
 
 // defaultRhoQuota mirrors the default preprocessing ball size: steps
@@ -192,6 +198,9 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	if kind < KindSequential || kind > KindRho {
 		return nil, Stats{}, fmt.Errorf("core: unknown engine kind %d", int(kind))
 	}
+	if p.Relax < RelaxAdaptive || p.Relax > RelaxPull {
+		return nil, Stats{}, fmt.Errorf("core: unknown relax mode %d", int(p.Relax))
+	}
 	if radii == nil && !kind.usesRadii() {
 		if err := validateSrc(g, src); err != nil {
 			return nil, Stats{}, err
@@ -211,6 +220,7 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	seq := kind == KindSequential
 	ws.bits[src] = parallel.ToBits(0)
 	ws.done[src] = true
+	ws.settled(src)
 
 	// Relax the source's neighbors (Algorithm 1, line 2) and seed the
 	// fringe with the unique improved vertices at their final distances.
@@ -266,12 +276,7 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 		for len(frontier) > 0 {
 			substeps++
 			ws.nextSubID()
-			var updated []graph.V
-			if seq {
-				updated = ws.relaxSeq(frontier, &st)
-			} else {
-				updated = ws.relaxPar(frontier, &st)
-			}
+			updated := ws.relax(frontier, &st, seq, p.Relax)
 			next = next[:0]
 			for _, v := range updated {
 				nd := parallel.FromBits(ws.bits[v])
@@ -299,6 +304,7 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 		}
 		for _, v := range active {
 			ws.done[v] = true
+			ws.settled(v)
 		}
 		if trace != nil {
 			trace(StepTrace{Step: stepNo, Di: di, Lead: lead, Settled: len(active), Substeps: substeps})

@@ -1,11 +1,49 @@
 package core
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"radiusstep/internal/graph"
 	"radiusstep/internal/parallel"
 )
+
+// RelaxMode selects how a Bellman–Ford substep traverses the frontier's
+// arcs. All modes compute byte-identical distances (each vertex ends a
+// substep at the minimum over the same candidate set); they differ only
+// in traversal direction and synchronization cost, so the driver is free
+// to pick per substep.
+type RelaxMode int
+
+const (
+	// RelaxAdaptive (the default) chooses push or pull per substep from
+	// the frontier's outgoing-arc count: sparse frontiers push (work
+	// proportional to the frontier), dense frontiers pull (no atomics,
+	// work proportional to the unsettled remainder).
+	RelaxAdaptive RelaxMode = iota
+	// RelaxPush forces push-style relaxation (scatter with atomic
+	// priority-writes).
+	RelaxPush
+	// RelaxPull forces pull-style relaxation (each unsettled vertex
+	// gathers over its incident arcs; one plain write per improvement).
+	RelaxPull
+)
+
+// pullAtomicFactor weighs the adaptive push/pull decision: a push arc
+// costs an atomic priority-write, roughly this many times a pull arc's
+// plain read. A substep pulls when pushing the frontier's arcs would
+// cost more than sweeping every unsettled vertex (remaining arcs plus
+// the O(n) settled-check scan).
+const pullAtomicFactor = 3
+
+// arcGrain is the arc-space chunk size for edge-balanced push: workers
+// claim ~arcGrain consecutive arcs at a time, so a skewed frontier (one
+// hub plus many leaves) still splits evenly — the hub's arc range is
+// shared between workers instead of serializing on one.
+const arcGrain = 2048
+
+// pullGrain is the vertex-space chunk size for parallel pull sweeps.
+const pullGrain = 512
 
 // Workspace holds every buffer a solve needs — the distance bits, the
 // settled/stamp arrays, the frontier lists, and per-stepper fringe
@@ -27,10 +65,18 @@ type Workspace struct {
 	act  []uint32 // == step stamp: joined the active set this step
 	sub  []uint32 // substep claim stamps (one improvement report per substep)
 	seen []uint32 // per-step fringe dedup for the flat-fringe steppers
+	infr []uint32 // == substep stamp: member of the current frontier (pull mode)
 
 	active, frontier, next, updated []graph.V
-	snap                            []float64
+	snap                            []float64 // frontier-indexed distance snapshot (push)
+	pullSnap                        []float64 // vertex-indexed distance snapshot (pull)
+	degOff                          []int64   // frontier degree prefix sums (edge-balanced push)
 	parts                           [][]graph.V
+
+	// remArcs tracks the arcs incident to not-yet-settled vertices, the
+	// denominator of the adaptive push/pull decision. Maintained by the
+	// driver as vertices settle.
+	remArcs int64
 
 	hp *heapStepper
 	ps *psetStepper
@@ -62,6 +108,14 @@ func (ws *Workspace) prepare(g *graph.CSR, radii []float64) {
 	ws.act = sized(ws.act, n)
 	ws.sub = sized(ws.sub, n)
 	ws.seen = sized(ws.seen, n)
+	ws.infr = sized(ws.infr, n)
+	ws.remArcs = int64(g.NumArcs())
+}
+
+// settled records that v left the unsettled remainder, keeping the
+// adaptive-decision denominator current.
+func (ws *Workspace) settled(v graph.V) {
+	ws.remArcs -= int64(ws.g.Degree(v))
 }
 
 // nextStep advances the step stamp, clearing the step-stamped arrays on
@@ -77,10 +131,11 @@ func (ws *Workspace) nextStep() uint32 {
 }
 
 // nextSubID advances the substep claim stamp, likewise clearing the
-// claim array on wraparound.
+// claim-stamped arrays on wraparound.
 func (ws *Workspace) nextSubID() uint32 {
 	if ws.subID == ^uint32(0) {
 		parallel.Fill(ws.sub, 0)
+		parallel.Fill(ws.infr, 0)
 		ws.subID = 0
 	}
 	ws.subID++
@@ -95,11 +150,97 @@ func sized[T any](s []T, n int) []T {
 	return make([]T, n)
 }
 
-// relaxSeq is the sequential Bellman–Ford substep: relax every arc out
-// of frontier against a snapshot of the frontier's distances (Jacobi
-// semantics, so substep counts match the parallel engines exactly) and
-// return the vertices whose distance improved, each reported once.
-func (ws *Workspace) relaxSeq(frontier []graph.V, st *Stats) []graph.V {
+// growParts makes sure ws.parts has at least p per-worker buffers,
+// PRESERVING the buffers that already exist: their grown capacity is the
+// point of pooling them, so reallocation must never drop them (append
+// keeps the old prefix and adds nil slots for the new workers).
+func (ws *Workspace) growParts(p int) [][]graph.V {
+	for len(ws.parts) < p {
+		ws.parts = append(ws.parts, nil)
+	}
+	return ws.parts[:p]
+}
+
+// mergeParts concatenates the per-worker buffers into ws.updated and
+// resets every buffer to length zero, so a later substep that runs fewer
+// workers can never re-merge a stale buffer from this one.
+func (ws *Workspace) mergeParts(parts [][]graph.V) []graph.V {
+	out := ws.updated[:0]
+	for w := range parts {
+		out = append(out, parts[w]...)
+		parts[w] = parts[w][:0]
+	}
+	ws.updated = out
+	return out
+}
+
+// relax runs one synchronous Bellman–Ford substep over frontier and
+// returns the vertices whose distance improved, each reported once. The
+// substep is Jacobi-style: source distances are snapshotted before any
+// relaxation, so results (and therefore step/substep counts) are
+// deterministic and identical across every mode and parallelism degree.
+//
+// mode picks the traversal: RelaxAdaptive compares the frontier's
+// outgoing arcs against the unsettled remainder; seq (the sequential
+// engine) always takes the scalar paths. On GOMAXPROCS=1 the scalar
+// paths also serve the parallel engines — same distances, no atomics.
+func (ws *Workspace) relax(frontier []graph.V, st *Stats, seq bool, mode RelaxMode) []graph.V {
+	par := !seq && parallel.Procs() > 1
+	totalArcs := int64(-1) // frontier arc count; built lazily, at most once
+	pull := false
+	switch mode {
+	case RelaxPull:
+		pull = true
+	case RelaxPush:
+		pull = false
+	default:
+		// Pull's payoff is skipping push's atomic priority-writes, so it
+		// can only win on the parallel path: the scalar push already has
+		// no atomics, and a scalar pull would scan a superset of its
+		// work (frontier arcs are a subset of the unsettled remainder).
+		// The degree prefix built for the decision is the same one the
+		// edge-balanced push partitions by, so push (the common case)
+		// pays for it only once.
+		if par {
+			totalArcs = ws.frontierDegOff(frontier)
+			pull = pullAtomicFactor*totalArcs > ws.remArcs+int64(len(ws.bits))
+		}
+	}
+	if pull {
+		st.PullSubsteps++
+		if par {
+			return ws.pullPar(frontier, st)
+		}
+		return ws.pullSeq(frontier, st)
+	}
+	st.PushSubsteps++
+	if par {
+		if totalArcs < 0 { // forced push: the decision never built the prefix
+			totalArcs = ws.frontierDegOff(frontier)
+		}
+		return ws.pushPar(frontier, totalArcs, st)
+	}
+	return ws.pushSeq(frontier, st)
+}
+
+// frontierDegOff fills ws.degOff with the frontier's degree prefix sums
+// (degOff[i] = arcs of frontier[:i]) and returns the total arc count.
+// Idempotent for a given frontier, and cheap relative to relaxing: one
+// O(|frontier|) pass plus a scan.
+func (ws *Workspace) frontierDegOff(frontier []graph.V) int64 {
+	degOff := sized(ws.degOff, len(frontier)+1)
+	ws.degOff = degOff
+	degOff[0] = 0
+	parallel.For(len(frontier), func(i int) {
+		degOff[i+1] = int64(ws.g.Degree(frontier[i]))
+	})
+	return parallel.InclusiveScan(degOff[1:], degOff[1:])
+}
+
+// pushSeq is the scalar push substep: relax every arc out of frontier
+// against a snapshot of the frontier's distances and return the vertices
+// whose distance improved, each reported once.
+func (ws *Workspace) pushSeq(frontier []graph.V, st *Stats) []graph.V {
 	subID := ws.subID
 	snap := sized(ws.snap, len(frontier))
 	ws.snap = snap
@@ -131,44 +272,56 @@ func (ws *Workspace) relaxSeq(frontier []graph.V, st *Stats) []graph.V {
 	return out
 }
 
-// relaxPar relaxes every arc out of frontier with WriteMin and returns
-// the set of vertices whose distance improved, each claimed exactly once
-// for this substep. The substep is synchronous: source distances are
-// snapshotted before any relaxation, so the round is a Jacobi-style
-// Bellman–Ford iteration with deterministic results (the PRAM semantics
-// the paper's substep bounds assume).
-func (ws *Workspace) relaxPar(frontier []graph.V, st *Stats) []graph.V {
+// pushPar is the edge-balanced parallel push substep. The frontier's
+// degree prefix (ws.degOff, built by frontierDegOff; totalArcs is its
+// total) partitions the concatenated arc ranges into ~arcGrain-arc
+// chunks that workers claim dynamically, so a hub vertex's arcs split
+// across workers instead of making one worker a straggler (safe because
+// relaxation targets are claimed with atomic priority-writes, not by
+// arc ownership). Improved vertices are claimed once per substep via
+// CAS stamps into per-worker buffers.
+func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []graph.V {
 	subID := ws.subID
-	p := parallel.Procs()
-	if cap(ws.parts) < p {
-		ws.parts = make([][]graph.V, p)
-	}
-	parts := ws.parts[:p]
+	parts := ws.growParts(parallel.Procs())
 	snap := sized(ws.snap, len(frontier))
 	ws.snap = snap
 	bits := ws.bits
 	parallel.For(len(frontier), func(i int) {
 		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
 	})
+	degOff := ws.degOff
+
 	var relaxed, scanned atomic.Int64
-	parallel.Workers(len(frontier), func(w int, claim func() (int, bool)) {
+	parallel.WorkersGrain(int(totalArcs), arcGrain, func(w int, claim func() (int, int, bool)) {
 		local := parts[w][:0]
 		var rl, sc int64
 		for {
-			i, ok := claim()
+			alo, ahi, ok := claim()
 			if !ok {
 				break
 			}
-			u := frontier[i]
-			du := snap[i]
-			adj, wts := ws.g.Neighbors(u)
-			sc += int64(len(adj))
-			for j, v := range adj {
-				nb := parallel.ToBits(du + wts[j])
-				if parallel.WriteMin(&bits[v], nb) {
-					rl++
-					if parallel.Claim(&ws.sub[v], subID) {
-						local = append(local, v)
+			// First frontier index whose arc range reaches past alo.
+			fi := sort.Search(len(frontier), func(i int) bool { return degOff[i+1] > int64(alo) })
+			for ; fi < len(frontier) && degOff[fi] < int64(ahi); fi++ {
+				u := frontier[fi]
+				du := snap[fi]
+				adj, wts := ws.g.Neighbors(u)
+				lo, hi := int64(alo)-degOff[fi], int64(ahi)-degOff[fi]
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > int64(len(adj)) {
+					hi = int64(len(adj))
+				}
+				sc += hi - lo
+				for j := lo; j < hi; j++ {
+					v := adj[j]
+					nb := parallel.ToBits(du + wts[j])
+					if parallel.WriteMin(&bits[v], nb) {
+						rl++
+						if parallel.Claim(&ws.sub[v], subID) {
+							local = append(local, v)
+						}
 					}
 				}
 			}
@@ -179,10 +332,112 @@ func (ws *Workspace) relaxPar(frontier []graph.V, st *Stats) []graph.V {
 	})
 	st.Relaxations += relaxed.Load()
 	st.EdgesScanned += scanned.Load()
+	return ws.mergeParts(parts)
+}
+
+// markFrontier stamps the frontier's membership and snapshots its
+// distances by vertex id, the lookup structure pull sweeps read.
+func (ws *Workspace) markFrontier(frontier []graph.V, par bool) []float64 {
+	subID := ws.subID
+	fs := sized(ws.pullSnap, len(ws.bits))
+	ws.pullSnap = fs
+	if par {
+		bits := ws.bits
+		parallel.For(len(frontier), func(i int) {
+			u := frontier[i]
+			ws.infr[u] = subID
+			fs[u] = parallel.FromBits(atomic.LoadUint64(&bits[u]))
+		})
+		return fs
+	}
+	for _, u := range frontier {
+		ws.infr[u] = subID
+		fs[u] = parallel.FromBits(ws.bits[u])
+	}
+	return fs
+}
+
+// pullSeq is the scalar pull substep: every unsettled vertex gathers
+// over its incident arcs (the graph is undirected, so out-arcs are
+// in-arcs) taking the min over frontier neighbors' snapshot distances.
+// Exactly one writer per vertex, so no claim stamps are needed — an
+// improved vertex is reported by its owner.
+func (ws *Workspace) pullSeq(frontier []graph.V, st *Stats) []graph.V {
+	subID := ws.subID
+	fs := ws.markFrontier(frontier, false)
 	out := ws.updated[:0]
-	for _, part := range parts {
-		out = append(out, part...)
+	n := len(ws.bits)
+	for v := 0; v < n; v++ {
+		if ws.done[v] {
+			continue
+		}
+		adj, wts := ws.g.Neighbors(graph.V(v))
+		st.EdgesScanned += int64(len(adj))
+		dv := parallel.FromBits(ws.bits[v])
+		nd := dv
+		for j, u := range adj {
+			if ws.infr[u] == subID {
+				if c := fs[u] + wts[j]; c < nd {
+					nd = c
+				}
+			}
+		}
+		if nd < dv {
+			ws.bits[v] = parallel.ToBits(nd)
+			st.Relaxations++
+			out = append(out, graph.V(v))
+		}
 	}
 	ws.updated = out
 	return out
+}
+
+// pullPar is the parallel pull substep: vertex-partitioned, so each
+// vertex has exactly one writer and the sweep needs no atomics at all —
+// the read side touches only the immutable frontier snapshot and the
+// worker's own distance cells.
+func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
+	subID := ws.subID
+	fs := ws.markFrontier(frontier, true)
+	parts := ws.growParts(parallel.Procs())
+	bits := ws.bits
+	infr := ws.infr
+	var relaxed, scanned atomic.Int64
+	parallel.WorkersGrain(len(bits), pullGrain, func(w int, claim func() (int, int, bool)) {
+		local := parts[w][:0]
+		var rl, sc int64
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				break
+			}
+			for v := lo; v < hi; v++ {
+				if ws.done[v] {
+					continue
+				}
+				adj, wts := ws.g.Neighbors(graph.V(v))
+				sc += int64(len(adj))
+				dv := parallel.FromBits(bits[v])
+				nd := dv
+				for j, u := range adj {
+					if infr[u] == subID {
+						if c := fs[u] + wts[j]; c < nd {
+							nd = c
+						}
+					}
+				}
+				if nd < dv {
+					bits[v] = parallel.ToBits(nd)
+					rl++
+					local = append(local, graph.V(v))
+				}
+			}
+		}
+		parts[w] = local
+		relaxed.Add(rl)
+		scanned.Add(sc)
+	})
+	st.Relaxations += relaxed.Load()
+	st.EdgesScanned += scanned.Load()
+	return ws.mergeParts(parts)
 }

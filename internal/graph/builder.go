@@ -116,7 +116,7 @@ func FromEdges(n int, edges []Edge) *CSR {
 		g.Adj[i] = kept[i].dst
 		g.W[i] = kept[i].w
 	})
-	return g
+	return g.finalize()
 }
 
 // AddShortcuts returns a new graph equal to g plus the given extra edges

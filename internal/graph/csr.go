@@ -47,6 +47,38 @@ type CSR struct {
 	Off []int64
 	Adj []V
 	W   []float64
+
+	// Whole-graph statistics, computed once at construction (finalize).
+	// Hot paths consult them per solve — DefaultDelta reads MaxWeight on
+	// the daemon's query path — so they must not cost an O(m) scan each
+	// time. hasStats guards hand-built literals (tests, external
+	// construction), which fall back to scanning.
+	hasStats   bool
+	maxW, minW float64
+	maxDeg     int
+}
+
+// finalize memoizes the whole-graph statistics. Every constructor in
+// this package calls it; the immutability convention (nobody mutates a
+// built CSR's arrays) keeps the cache coherent for the graph's lifetime.
+func (g *CSR) finalize() *CSR {
+	g.maxW, g.minW = 0, math.Inf(1)
+	for _, w := range g.W {
+		if w > g.maxW {
+			g.maxW = w
+		}
+		if w < g.minW {
+			g.minW = w
+		}
+	}
+	g.maxDeg = 0
+	for u := 0; u < g.NumVertices(); u++ {
+		if d := g.Degree(V(u)); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	g.hasStats = true
+	return g
 }
 
 // NumVertices returns n.
@@ -69,7 +101,11 @@ func (g *CSR) Neighbors(u V) ([]V, []float64) {
 }
 
 // MaxWeight returns L, the largest edge weight (0 for an edgeless graph).
+// O(1) on constructor-built graphs (memoized at construction).
 func (g *CSR) MaxWeight() float64 {
+	if g.hasStats {
+		return g.maxW
+	}
 	maxW := 0.0
 	for _, w := range g.W {
 		if w > maxW {
@@ -80,7 +116,11 @@ func (g *CSR) MaxWeight() float64 {
 }
 
 // MinWeight returns the smallest edge weight (+Inf for an edgeless graph).
+// O(1) on constructor-built graphs.
 func (g *CSR) MinWeight() float64 {
+	if g.hasStats {
+		return g.minW
+	}
 	minW := math.Inf(1)
 	for _, w := range g.W {
 		if w < minW {
@@ -90,8 +130,12 @@ func (g *CSR) MinWeight() float64 {
 	return minW
 }
 
-// IsUnit reports whether every edge weight equals 1.
+// IsUnit reports whether every edge weight equals 1 (vacuously true for
+// an edgeless graph). O(1) on constructor-built graphs.
 func (g *CSR) IsUnit() bool {
+	if g.hasStats {
+		return len(g.W) == 0 || (g.minW == 1 && g.maxW == 1)
+	}
 	for _, w := range g.W {
 		if w != 1 {
 			return false
@@ -100,8 +144,12 @@ func (g *CSR) IsUnit() bool {
 	return true
 }
 
-// MaxDegree returns the largest vertex degree.
+// MaxDegree returns the largest vertex degree. O(1) on constructor-built
+// graphs.
 func (g *CSR) MaxDegree() int {
+	if g.hasStats {
+		return g.maxDeg
+	}
 	best := 0
 	for u := 0; u < g.NumVertices(); u++ {
 		if d := g.Degree(V(u)); d > best {
@@ -117,9 +165,18 @@ func (g *CSR) Clone() *CSR {
 		Off: make([]int64, len(g.Off)),
 		Adj: make([]V, len(g.Adj)),
 		W:   make([]float64, len(g.W)),
+		// The copy has identical arrays, so the memoized statistics carry
+		// over instead of being rescanned.
+		hasStats: g.hasStats,
+		maxW:     g.maxW,
+		minW:     g.minW,
+		maxDeg:   g.maxDeg,
 	}
 	copy(c.Off, g.Off)
 	copy(c.Adj, g.Adj)
 	copy(c.W, g.W)
+	if !c.hasStats {
+		c.finalize()
+	}
 	return c
 }

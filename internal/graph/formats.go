@@ -124,10 +124,7 @@ func ReadAuto(r io.Reader) (*CSR, Format, error) {
 	case FormatSnapshot:
 		var s *Snapshot
 		if s, err = ReadSnapshot(br); err == nil {
-			g = s.G
-			if s.Original != nil {
-				g = s.Original
-			}
+			g = s.InputGraph()
 		}
 	default:
 		return nil, FormatUnknown, fmt.Errorf("graph: unrecognized graph format")

@@ -329,3 +329,30 @@ func TestQuickFromEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStatsMemoization: the memoized whole-graph statistics agree with
+// a hand-built (unfinalized) literal's scanning fallback.
+func TestStatsMemoization(t *testing.T) {
+	built := FromEdges(4, []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 5}, {U: 1, V: 3, W: 0.5}})
+	literal := &CSR{Off: built.Off, Adj: built.Adj, W: built.W} // no finalize: fallback path
+	if built.MaxWeight() != literal.MaxWeight() || built.MaxWeight() != 5 {
+		t.Fatalf("MaxWeight memo %v, scan %v", built.MaxWeight(), literal.MaxWeight())
+	}
+	if built.MinWeight() != literal.MinWeight() || built.MinWeight() != 0.5 {
+		t.Fatalf("MinWeight memo %v, scan %v", built.MinWeight(), literal.MinWeight())
+	}
+	if built.MaxDegree() != literal.MaxDegree() || built.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree memo %v, scan %v", built.MaxDegree(), literal.MaxDegree())
+	}
+	if built.IsUnit() || literal.IsUnit() {
+		t.Fatal("IsUnit true on non-unit graph")
+	}
+	unit := FromEdges(3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+	if !unit.IsUnit() {
+		t.Fatal("IsUnit false on unit graph")
+	}
+	empty := FromEdges(2, nil)
+	if !empty.IsUnit() || empty.MaxWeight() != 0 || !math.IsInf(empty.MinWeight(), 1) {
+		t.Fatal("edgeless-graph stats wrong")
+	}
+}

@@ -147,5 +147,5 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if g.Off[0] != 0 || uint64(g.Off[n]) != arcs {
 		return nil, fmt.Errorf("graph: corrupt offsets")
 	}
-	return g, nil
+	return g.finalize(), nil
 }

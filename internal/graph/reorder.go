@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Relabeling utilities. Vertex order strongly affects cache locality of
 // CSR traversals: BFS order places topological neighborhoods together
@@ -115,4 +118,47 @@ func PermuteFloats(in []float64, perm []V) []float64 {
 		out[p] = in[i]
 	}
 	return out
+}
+
+// UnpermuteFloats maps a relabeled-id value vector back to original
+// ids: out[old] = in[perm[old]]. It is the inverse of PermuteFloats and
+// the operation a server answering queries over a reordered graph
+// applies to every distance vector before returning it.
+func UnpermuteFloats(in []float64, perm []V) []float64 {
+	out := make([]float64, len(in))
+	for i, p := range perm {
+		out[i] = in[p]
+	}
+	return out
+}
+
+// InvertPerm returns the inverse permutation: inv[perm[old]] = old, so
+// inv maps relabeled ids back to original ids.
+func InvertPerm(perm []V) []V {
+	inv := make([]V, len(perm))
+	for old, p := range perm {
+		inv[p] = V(old)
+	}
+	return inv
+}
+
+// OrderByName computes the relabeling permutation for a named order:
+// "bfs" (breadth-first from vertex 0 — topological locality, best for
+// road networks and grids), "degree" (hubs first — best for scale-free
+// graphs), or "none"/"" (nil permutation, keep ids). The name set is
+// what cmd/graphpack's -order flag accepts.
+func OrderByName(g *CSR, name string) ([]V, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "bfs":
+		if g.NumVertices() == 0 {
+			return nil, nil
+		}
+		return BFSOrder(g, 0), nil
+	case "degree":
+		return DegreeOrder(g), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown vertex order %q (want bfs|degree|none)", name)
+	}
 }

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+func permTestGraph() *CSR {
+	return FromEdges(6, []Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 2, V: 3, W: 1},
+		{U: 3, V: 4, W: 5}, {U: 0, V: 5, W: 4}, {U: 5, V: 3, W: 2},
+	})
+}
+
+// TestSnapshotPermRoundTrip: a permutation written into a snapshot comes
+// back bit-identical, and absent permutations stay absent.
+func TestSnapshotPermRoundTrip(t *testing.T) {
+	g := permTestGraph()
+	perm := DegreeOrder(g)
+	rg := ApplyOrder(g, perm)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, &Snapshot{G: rg, Perm: perm}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Perm) != len(perm) {
+		t.Fatalf("perm length %d, want %d", len(got.Perm), len(perm))
+	}
+	for i := range perm {
+		if got.Perm[i] != perm[i] {
+			t.Fatalf("perm[%d] = %d, want %d", i, got.Perm[i], perm[i])
+		}
+	}
+
+	buf.Reset()
+	if err := WriteSnapshot(&buf, &Snapshot{G: g}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Perm != nil {
+		t.Fatalf("snapshot without perm read back %v", got.Perm)
+	}
+}
+
+// TestSnapshotPermValidation: a wrong-length permutation is rejected at
+// write time; a non-bijective one is rejected at read time (it would
+// silently swap vertex identities on every query).
+func TestSnapshotPermValidation(t *testing.T) {
+	g := permTestGraph()
+	if err := WriteSnapshot(&bytes.Buffer{}, &Snapshot{G: g, Perm: []V{0, 1}}); err == nil {
+		t.Fatal("wrong-length perm accepted at write time")
+	}
+
+	perm := DegreeOrder(g)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, &Snapshot{G: ApplyOrder(g, perm), Perm: perm}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the perm section in place: make two entries collide. The
+	// perm is the last section before the 4-byte checksum trailer, so
+	// entry i sits at len-4-(n-i)*4. Recompute the checksum so only the
+	// bijectivity check can catch it.
+	data := buf.Bytes()
+	n := g.NumVertices()
+	p0 := len(data) - 4 - n*4
+	copy(data[p0:p0+4], data[p0+4:p0+8])
+	fixSnapshotChecksum(data)
+	if _, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
+		t.Fatal("non-bijective perm accepted")
+	}
+}
+
+// fixSnapshotChecksum rewrites the CRC-32C trailer to match the (edited)
+// payload, so tests can corrupt specific sections without tripping the
+// checksum first.
+func fixSnapshotChecksum(data []byte) {
+	sum := crc32.Checksum(data[:len(data)-4], snapCRC)
+	data[len(data)-4] = byte(sum)
+	data[len(data)-3] = byte(sum >> 8)
+	data[len(data)-2] = byte(sum >> 16)
+	data[len(data)-1] = byte(sum >> 24)
+}
+
+// TestUnpermuteInvertsPermute: PermuteFloats carries values old->new;
+// UnpermuteFloats carries them back; InvertPerm composes to identity.
+func TestUnpermuteInvertsPermute(t *testing.T) {
+	perm := []V{2, 0, 3, 1}
+	in := []float64{10, 11, 12, 13}
+	back := UnpermuteFloats(PermuteFloats(in, perm), perm)
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("round trip broke at %d: %v", i, back)
+		}
+	}
+	inv := InvertPerm(perm)
+	for old, p := range perm {
+		if inv[p] != V(old) {
+			t.Fatalf("InvertPerm wrong at %d", old)
+		}
+	}
+}
+
+// TestOrderByName: the graphpack order names resolve, "none" is nil,
+// unknown names fail loudly.
+func TestOrderByName(t *testing.T) {
+	g := permTestGraph()
+	for _, name := range []string{"bfs", "degree"} {
+		perm, err := OrderByName(g, name)
+		if err != nil || len(perm) != g.NumVertices() {
+			t.Fatalf("%s: perm len %d err %v", name, len(perm), err)
+		}
+		// Relabeling preserves the metric up to renaming.
+		rg := ApplyOrder(g, perm)
+		if rg.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: edge count changed", name)
+		}
+	}
+	for _, name := range []string{"", "none"} {
+		if perm, err := OrderByName(g, name); err != nil || perm != nil {
+			t.Fatalf("%q: perm %v err %v", name, perm, err)
+		}
+	}
+	if _, err := OrderByName(g, "hilbert"); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+}

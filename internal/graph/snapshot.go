@@ -23,7 +23,8 @@ import (
 //
 //	magic    uint64  "RSSNAP01"
 //	version  uint32  currently 1
-//	flags    uint32  bit 0: radii present; bit 1: original graph present
+//	flags    uint32  bit 0: radii present; bit 1: original graph present;
+//	                 bit 2: relabeling permutation present
 //	n        uint64  vertex count
 //	arcs     uint64  arc count of G (2m)
 //	origArcs uint64  arc count of Original (0 when absent)
@@ -38,7 +39,13 @@ import (
 //	origOff  [n+1]int64         (iff flag bit 1)
 //	origAdj  [origArcs]int32    (iff flag bit 1)
 //	origW    [origArcs]float64  (iff flag bit 1)
+//	Perm     [n]int32           (iff flag bit 2)
 //	checksum uint32  CRC-32C (Castagnoli) of everything above
+//
+// Readers that predate a flag bit reject files carrying it (unknown
+// flags fail loudly), so adding the optional permutation section did not
+// need a version bump: old files remain readable, new files cannot be
+// silently misread.
 //
 // Arrays are written and read as whole slices with encoding/binary, so a
 // multi-million-edge graph loads in milliseconds rather than the seconds
@@ -60,6 +67,13 @@ type Snapshot struct {
 	// Heuristic names the shortcut heuristic ("direct", "greedy", "dp";
 	// empty when Radii is nil).
 	Heuristic string
+	// Perm records the cache-locality relabeling applied at pack time
+	// (perm[original] = stored id), when the packer reordered the graph.
+	// G, Original, and Radii are all in stored-id space; a server must
+	// map query sources through Perm and returned distances back through
+	// its inverse so clients keep using original ids. Nil when the graph
+	// was packed in its input order.
+	Perm []V
 }
 
 const (
@@ -68,12 +82,29 @@ const (
 
 	snapFlagRadii    = uint32(1 << 0)
 	snapFlagOriginal = uint32(1 << 1)
-	snapKnownFlags   = snapFlagRadii | snapFlagOriginal
+	snapFlagPerm     = uint32(1 << 2)
+	snapKnownFlags   = snapFlagRadii | snapFlagOriginal | snapFlagPerm
 
 	maxHeuristicLen = 64
 )
 
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// InputGraph returns the snapshot's real input graph in original vertex
+// ids: the pre-shortcut Original when present (else G), with any
+// pack-time relabeling undone. It is the single implementation of the
+// "original graph, original ids" contract behind ReadAuto and the root
+// LoadGraphFile, so the two ingest paths can never diverge.
+func (s *Snapshot) InputGraph() *CSR {
+	g := s.G
+	if s.Original != nil {
+		g = s.Original
+	}
+	if s.Perm != nil {
+		g = ApplyOrder(g, InvertPerm(s.Perm))
+	}
+	return g
+}
 
 // WriteSnapshot serializes s in the versioned binary snapshot format,
 // including a trailing CRC-32C checksum over the full header and payload.
@@ -87,6 +118,9 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	if s.Original != nil && s.Original.NumVertices() != n {
 		return fmt.Errorf("graph: snapshot original has %d vertices, graph has %d", s.Original.NumVertices(), n)
+	}
+	if s.Perm != nil && len(s.Perm) != n {
+		return fmt.Errorf("graph: snapshot permutation length %d != n %d", len(s.Perm), n)
 	}
 	if len(s.Heuristic) > maxHeuristicLen {
 		return fmt.Errorf("graph: snapshot heuristic name too long (%d bytes)", len(s.Heuristic))
@@ -104,6 +138,9 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if s.Original != nil {
 		flags |= snapFlagOriginal
 		origArcs = s.Original.NumArcs()
+	}
+	if s.Perm != nil {
+		flags |= snapFlagPerm
 	}
 	head := []any{
 		snapMagic, snapVersion, flags,
@@ -124,6 +161,9 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	if s.Original != nil {
 		sections = append(sections, s.Original.Off, s.Original.Adj, s.Original.W)
+	}
+	if s.Perm != nil {
+		sections = append(sections, s.Perm)
 	}
 	for _, sec := range sections {
 		if err := binary.Write(out, binary.LittleEndian, sec); err != nil {
@@ -193,6 +233,9 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 		if flags&snapFlagOriginal != 0 {
 			need += int64(n+1)*8 + int64(origArcs)*12
 		}
+		if flags&snapFlagPerm != 0 {
+			need += int64(n) * 4
+		}
 		if need != maxBytes {
 			return nil, fmt.Errorf("graph: snapshot header declares %d bytes but file has %d", need, maxBytes)
 		}
@@ -227,6 +270,22 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	if flags&snapFlagOriginal != 0 {
 		if s.Original, err = readSnapshotCSR(in, int(n), int(origArcs)); err != nil {
 			return nil, err
+		}
+	}
+	if flags&snapFlagPerm != 0 {
+		s.Perm = make([]V, n)
+		if err := binary.Read(in, binary.LittleEndian, s.Perm); err != nil {
+			return nil, fmt.Errorf("graph: snapshot permutation: %w", err)
+		}
+		// A corrupt permutation would silently swap identities on every
+		// query answer; validate bijectivity at load time like every
+		// other structural invariant.
+		seen := make([]bool, n)
+		for i, p := range s.Perm {
+			if p < 0 || uint64(p) >= n || seen[p] {
+				return nil, fmt.Errorf("graph: snapshot permutation corrupt at index %d (maps to %d)", i, p)
+			}
+			seen[p] = true
 		}
 	}
 
@@ -269,7 +328,7 @@ func readSnapshotCSR(r io.Reader, n, arcs int) (*CSR, error) {
 			return nil, fmt.Errorf("graph: snapshot has invalid weight %v", g.W[i])
 		}
 	}
-	return g, nil
+	return g.finalize(), nil
 }
 
 // WriteSnapshotFile writes s to path via a temporary file and rename, so

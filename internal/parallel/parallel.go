@@ -5,12 +5,14 @@
 //
 // All primitives degrade gracefully to sequential execution for small
 // inputs or when GOMAXPROCS is 1, so callers never need a separate
-// sequential code path.
+// sequential code path. Parallel execution is served by a persistent
+// pool of parked workers (see pool.go) rather than per-call goroutines,
+// so a solve's hundreds of fork-joins pay a channel wake-up instead of
+// goroutine-spawn and scheduler churn.
 package parallel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -60,26 +62,16 @@ func Blocks(n, grain int, fn func(lo, hi int)) {
 		workers = numBlocks
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= numBlocks {
-					return
-				}
-				lo := b * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
+	claim := rangeClaimer(n, grain, &next)
+	fork(workers, func(int) {
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			fn(lo, hi)
+		}
+	})
 }
 
 // Workers runs fn once per worker with a distinct worker id in [0, count).
@@ -87,7 +79,12 @@ func Blocks(n, grain int, fn func(lo, hi int)) {
 // hands out indices in [0, n) and reports false when the range is
 // exhausted. This primitive exists for kernels that need worker-local
 // scratch state (for example the per-source restricted Dijkstra in
-// preprocessing), which plain For cannot express.
+// preprocessing), which plain For cannot express. Every worker id is
+// guaranteed to run exactly once, even when the pool serves other forks.
+//
+// The claim function costs one atomic per index; for cheap per-item work
+// (per-vertex frontier loops) use WorkersGrain, whose batched claim
+// amortizes the atomic over a range of indices.
 func Workers(n int, fn func(worker int, claim func() (int, bool))) {
 	if n <= 0 {
 		return
@@ -105,19 +102,40 @@ func Workers(n int, fn func(worker int, claim func() (int, bool))) {
 		fn(0, claim)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(id int) {
-			defer wg.Done()
-			fn(id, claim)
-		}(w)
-	}
-	wg.Wait()
+	fork(workers, func(id int) { fn(id, claim) })
 }
 
-// Do runs the given functions concurrently and waits for all of them.
-// It is the fork-join "parallel composition" primitive.
+// WorkersGrain is Workers with a batched claim: claim hands out
+// half-open index ranges [lo, hi) of about grain indices, so the
+// scheduling cost is one atomic add per grain items instead of one per
+// item. Use it for loops whose per-item work is comparable to an atomic
+// operation (relaxing one vertex's edges, scanning one frontier entry).
+func WorkersGrain(n, grain int, fn func(worker int, claim func() (lo, hi int, ok bool))) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	numChunks := blocksOf(n, grain)
+	workers := Procs()
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var next atomic.Int64
+	claim := rangeClaimer(n, grain, &next)
+	if workers == 1 {
+		fn(0, claim)
+		return
+	}
+	fork(workers, func(id int) { fn(id, claim) })
+}
+
+// Do runs the given functions concurrently (pool workers plus the
+// caller) and waits for all of them. It is the fork-join "parallel
+// composition" primitive. The functions must be independent: when the
+// pool is saturated or GOMAXPROCS is 1, some or all of them run
+// sequentially on the caller.
 func Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -126,14 +144,5 @@ func Do(fns ...func()) {
 		fns[0]()
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(fns) - 1)
-	for _, fn := range fns[1:] {
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(fn)
-	}
-	fns[0]()
-	wg.Wait()
+	fork(len(fns), func(id int) { fns[id]() })
 }

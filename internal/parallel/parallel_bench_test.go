@@ -98,3 +98,54 @@ func BenchmarkMinIndex1M(b *testing.B) {
 		MinIndex(n, 2, func(i int) float64 { return keys[i] })
 	}
 }
+
+// BenchmarkForkJoinSubstep measures bare fork-join overhead at
+// Bellman–Ford-substep scale: many small parallel regions back to back,
+// the pattern a solve's inner loop produces. With the persistent pool
+// this is a channel wake-up per worker instead of a goroutine spawn.
+func BenchmarkForkJoinSubstep(b *testing.B) {
+	work := make([]int64, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Blocks(len(work), 256, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				work[j]++
+			}
+		})
+	}
+}
+
+// BenchmarkWorkersGrainClaim measures the batched claim against the
+// per-index claim on a cheap per-item loop.
+func BenchmarkWorkersGrainClaim(b *testing.B) {
+	n := 1 << 16
+	sink := make([]int64, n)
+	b.Run("grain=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Workers(n, func(_ int, claim func() (int, bool)) {
+				for {
+					j, ok := claim()
+					if !ok {
+						return
+					}
+					sink[j]++
+				}
+			})
+		}
+	})
+	b.Run("grain=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			WorkersGrain(n, 64, func(_ int, claim func() (int, int, bool)) {
+				for {
+					lo, hi, ok := claim()
+					if !ok {
+						return
+					}
+					for j := lo; j < hi; j++ {
+						sink[j]++
+					}
+				}
+			})
+		}
+	})
+}

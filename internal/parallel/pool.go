@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The persistent worker pool behind the fork-join primitives.
+//
+// A solve makes hundreds of Blocks/Workers calls (one or more per
+// Bellman–Ford substep), and spawning fresh goroutines for each one
+// costs a stack allocation, scheduler churn, and WaitGroup traffic that
+// can rival the useful work on small frontiers. Instead, the package
+// keeps a small set of long-lived workers, each parked on a channel
+// receive (the runtime parks the goroutine — the Go analogue of a futex
+// wait) until a fork hands it a task. Waking a parked worker is a single
+// channel send to an already-waiting receiver, an order of magnitude
+// cheaper than goroutine creation, and steady-state fork-joins stop
+// producing dead goroutines for the scheduler and GC to digest.
+//
+// Invariants:
+//
+//   - The pool never exceeds GOMAXPROCS-1 workers (the caller of a fork
+//     is always the +1th participant), so concurrent fork-joins share
+//     the machine instead of oversubscribing it.
+//   - A fork NEVER blocks waiting for a worker. If the pool is empty —
+//     all workers busy serving other forks, possibly nested ones — the
+//     caller runs the remaining participants itself, sequentially. Every
+//     participant id in [0, n) runs exactly once either way, which is
+//     what callers that index per-worker state by id rely on.
+//   - Workers are created lazily and live for the life of the process;
+//     an idle pool costs len(idle) parked goroutines and nothing else.
+type task struct {
+	body func(id int)
+	wg   *sync.WaitGroup
+	id   int
+}
+
+var pool struct {
+	mu   sync.Mutex
+	idle []chan task // parked workers' inboxes, LIFO for cache warmth
+	size int         // workers ever created (they never exit)
+}
+
+// workerLoop is the body of one pool worker: run a task, rejoin the idle
+// stack, park again. The inbox has capacity 1 so re-parking (appending
+// to idle before the next receive) never makes a sender block.
+func workerLoop(ch chan task) {
+	for t := range ch {
+		t.body(t.id)
+		t.wg.Done()
+		// Drop the closure reference before parking: fork bodies capture
+		// solve state (workspaces, graph arrays), and an idle worker must
+		// not pin its last fork's captures until the next task arrives.
+		t = task{}
+		_ = t
+		pool.mu.Lock()
+		pool.idle = append(pool.idle, ch)
+		pool.mu.Unlock()
+	}
+}
+
+// fork runs body(id) for every id in [0, n), body(0) on the caller and
+// the rest on parked pool workers, creating workers up to GOMAXPROCS-1
+// as needed. Participants the pool cannot serve run inline on the
+// caller after body(0); fork returns when all n invocations completed.
+func fork(n int, body func(id int)) {
+	if n <= 1 {
+		if n == 1 {
+			body(0)
+		}
+		return
+	}
+	limit := runtime.GOMAXPROCS(0) - 1
+	var wg sync.WaitGroup
+	dispatched := 1
+	pool.mu.Lock()
+	for dispatched < n {
+		var ch chan task
+		if k := len(pool.idle); k > 0 {
+			ch = pool.idle[k-1]
+			pool.idle = pool.idle[:k-1]
+		} else if pool.size < limit {
+			ch = make(chan task, 1)
+			pool.size++
+			go workerLoop(ch)
+		} else {
+			break
+		}
+		wg.Add(1)
+		ch <- task{body: body, wg: &wg, id: dispatched}
+		dispatched++
+	}
+	pool.mu.Unlock()
+	body(0)
+	for id := dispatched; id < n; id++ {
+		body(id) // pool exhausted: the caller covers the rest
+	}
+	wg.Wait()
+}
+
+// PoolSize reports how many persistent workers currently exist. Exposed
+// for tests and diagnostics.
+func PoolSize() int {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return pool.size
+}
+
+// rangeClaimer returns a batched claim function handing out consecutive
+// index ranges of about grain elements from [0, n): one atomic add per
+// grain indices instead of one per index.
+func rangeClaimer(n, grain int, next *atomic.Int64) func() (int, int, bool) {
+	numChunks := blocksOf(n, grain)
+	return func() (int, int, bool) {
+		c := int(next.Add(1)) - 1
+		if c >= numChunks {
+			return 0, 0, false
+		}
+		lo, hi := blockBounds(c, n, grain)
+		return lo, hi, true
+	}
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForkRunsEveryParticipantOnce: every id in [0, n) must run exactly
+// once, whatever the pool's state — the contract callers that index
+// per-worker scratch by id rely on.
+func TestForkRunsEveryParticipantOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 33} {
+		hits := make([]int32, n)
+		fork(n, func(id int) {
+			if id < 0 || id >= n {
+				t.Errorf("fork(%d): id %d out of range", n, id)
+				return
+			}
+			atomic.AddInt32(&hits[id], 1)
+		})
+		for id, h := range hits {
+			if h != 1 {
+				t.Fatalf("fork(%d): id %d ran %d times", n, id, h)
+			}
+		}
+	}
+}
+
+// TestForkNested: forks from inside pool workers (nested parallelism, as
+// in parallel sort and the pset bulk operations) must complete without
+// deadlock even when they saturate the pool.
+func TestForkNested(t *testing.T) {
+	var total atomic.Int64
+	fork(4, func(outer int) {
+		fork(4, func(inner int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 16 {
+		t.Fatalf("nested fork ran %d bodies, want 16", got)
+	}
+}
+
+// TestForkConcurrent: many goroutines forking at once (the serving
+// daemon's concurrent solves) all complete and the pool never exceeds
+// its size bound.
+func TestForkConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				fork(4, func(int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*50*4 {
+		t.Fatalf("concurrent forks ran %d bodies, want %d", got, 8*50*4)
+	}
+	if limit := runtime.GOMAXPROCS(0) - 1; PoolSize() > limit && limit > 0 {
+		t.Fatalf("pool grew to %d workers, limit %d", PoolSize(), limit)
+	}
+}
+
+// TestWorkersGrainCoversAllIndices: the batched claim hands out every
+// index exactly once across workers, for grains around the boundaries.
+func TestWorkersGrainCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4099} {
+		for _, grain := range []int{0, 1, 64, 4096} {
+			hits := make([]int32, n)
+			WorkersGrain(n, grain, func(w int, claim func() (int, int, bool)) {
+				for {
+					lo, hi, ok := claim()
+					if !ok {
+						return
+					}
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("n=%d grain=%d: bad range [%d,%d)", n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d claimed %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersGrainWorkerIDsDistinct: worker ids are distinct and dense,
+// so per-worker scratch arrays never alias.
+func TestWorkersGrainWorkerIDsDistinct(t *testing.T) {
+	seen := make([]int32, Procs()+1)
+	WorkersGrain(10_000, 16, func(w int, claim func() (int, int, bool)) {
+		if w < 0 || w >= len(seen) {
+			t.Errorf("worker id %d out of range", w)
+			return
+		}
+		if atomic.AddInt32(&seen[w], 1) != 1 {
+			t.Errorf("worker id %d reused", w)
+		}
+		for {
+			if _, _, ok := claim(); !ok {
+				return
+			}
+		}
+	})
+}

@@ -1,6 +1,6 @@
 package parallel
 
-import "sort"
+import "slices"
 
 // sortSeqThreshold is the size below which sorting falls back to the
 // sequential standard-library sort.
@@ -9,12 +9,30 @@ const sortSeqThreshold = 1 << 13
 // mergeSeqThreshold is the size below which merging is sequential.
 const mergeSeqThreshold = 1 << 14
 
+// sortSeq is the sequential fallback: slices.SortFunc (generic pdqsort,
+// comparator inlined at instantiation) rather than sort.Slice, whose
+// reflect-based swapper dominated profiles of the ordered-set engine —
+// the pset bulk updates sort a small batch every substep, so the
+// constant factor here is hot-path cost.
+func sortSeq[T any](data []T, less func(a, b T) bool) {
+	slices.SortFunc(data, func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
 // Sort sorts data in place by less, using a parallel merge sort for large
 // inputs. The sort is not stable.
 func Sort[T any](data []T, less func(a, b T) bool) {
 	n := len(data)
 	if n <= sortSeqThreshold || Procs() == 1 {
-		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		sortSeq(data, less)
 		return
 	}
 	buf := make([]T, n)
@@ -26,7 +44,7 @@ func Sort[T any](data []T, less func(a, b T) bool) {
 func mergeSortInto[T any](src, buf []T, less func(a, b T) bool, inPlace bool) {
 	n := len(src)
 	if n <= sortSeqThreshold {
-		sort.Slice(src, func(i, j int) bool { return less(src[i], src[j]) })
+		sortSeq(src, less)
 		if !inPlace {
 			copy(buf, src)
 		}

@@ -57,6 +57,10 @@ type GraphInfo struct {
 	// startup or loaded from persistence (RadiiComputed, RadiiFromSnapshot,
 	// RadiiFromBundle).
 	RadiiSource string `json:"radiiSource,omitempty"`
+	// Reordered reports that the snapshot was packed with a
+	// cache-locality vertex relabeling (graphpack -order); queries and
+	// answers are mapped between original and stored ids transparently.
+	Reordered bool `json:"reordered,omitempty"`
 	// SnapshotBytes is the on-disk size of the loaded snapshot/bundle.
 	SnapshotBytes int64 `json:"snapshotBytes,omitempty"`
 	// ColdStartMillis is the total load time — file read plus any
@@ -137,6 +141,63 @@ func (b *solverBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, r
 
 func (b *solverBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error) {
 	return b.solver.PathWith(src, dst, engine)
+}
+
+// remapBackend serves a graph that was relabeled at pack time for cache
+// locality: queries arrive in original ids, the inner backend solves in
+// stored ids, and every answer is mapped back. Clients never observe the
+// relabeling — the API contract survives -order unchanged. The O(n)
+// distance unpermute runs once per solve (cache misses only: the
+// distance cache above this layer stores already-remapped vectors).
+type remapBackend struct {
+	inner Backend
+	perm  []rs.Vertex // original id -> stored id
+	inv   []rs.Vertex // stored id -> original id
+}
+
+func newRemapBackend(inner Backend, perm []rs.Vertex) *remapBackend {
+	return &remapBackend{inner: inner, perm: perm, inv: rs.InvertPerm(perm)}
+}
+
+func (b *remapBackend) NumVertices() int { return b.inner.NumVertices() }
+
+// checkVertex mirrors the solver's own range validation: out-of-range
+// ids must produce the same clean error a non-reordered backend would,
+// not an index panic from the permutation lookup.
+func (b *remapBackend) checkVertex(v rs.Vertex) error {
+	if v < 0 || int(v) >= len(b.perm) {
+		return fmt.Errorf("server: vertex %d out of range [0,%d)", v, len(b.perm))
+	}
+	return nil
+}
+
+func (b *remapBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error) {
+	if err := b.checkVertex(src); err != nil {
+		return nil, rs.Stats{}, err
+	}
+	d, st, err := b.inner.Distances(b.perm[src], engine)
+	if err != nil {
+		return nil, st, err
+	}
+	return rs.UnpermuteFloats(d, b.perm), st, nil
+}
+
+func (b *remapBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error) {
+	if err := b.checkVertex(src); err != nil {
+		return nil, 0, err
+	}
+	if err := b.checkVertex(dst); err != nil {
+		return nil, 0, err
+	}
+	p, d, err := b.inner.Path(b.perm[src], b.perm[dst], engine)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]rs.Vertex, len(p))
+	for i, v := range p {
+		out[i] = b.inv[v]
+	}
+	return out, d, nil
 }
 
 // NewSolverEntry wraps a preprocessed solver as a registry entry,
@@ -419,6 +480,7 @@ func buildFromSnapshot(cfg GraphConfig, opt rs.Options, snap *rs.Snapshot, size 
 		entry.Info.Format = "snapshot"
 		entry.Info.RadiiSource = RadiiFromSnapshot
 		entry.Info.SnapshotBytes = size
+		applySnapshotPerm(entry, snap)
 		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 		return entry, nil
 	}
@@ -434,6 +496,19 @@ func buildFromSnapshot(cfg GraphConfig, opt rs.Options, snap *rs.Snapshot, size 
 	entry := NewSolverEntry(cfg.Name, solver, opt.WithDefaults(), source, time.Since(prep))
 	entry.Info.Format = "snapshot"
 	entry.Info.SnapshotBytes = size
+	applySnapshotPerm(entry, snap)
 	entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 	return entry, nil
+}
+
+// applySnapshotPerm wraps a snapshot-built entry's backend with the
+// original-id remapping layer when the snapshot was packed reordered.
+// Every query path (distances, routes, batch) goes through the Backend
+// interface, so this one wrap keeps the whole API in original ids.
+func applySnapshotPerm(entry *Entry, snap *rs.Snapshot) {
+	if snap.Perm == nil {
+		return
+	}
+	entry.Backend = newRemapBackend(entry.Backend, snap.Perm)
+	entry.Info.Reordered = true
 }

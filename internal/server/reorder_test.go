@@ -1,0 +1,177 @@
+package server
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	rs "radiusstep"
+)
+
+// packReordered simulates `graphpack -order <name>`: relabel, preprocess
+// in the stored id space, and write a permutation-carrying snapshot.
+func packReordered(t *testing.T, g *rs.Graph, order, path string) {
+	t.Helper()
+	perm, err := rs.OrderByName(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := rs.ApplyOrder(g, perm)
+	opt := rs.Options{Rho: 8}
+	pre, err := rs.Preprocess(rg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rs.NewSnapshot(pre, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Perm = perm
+	if err := rs.WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReorderedSnapshotServesOriginalIDs is the end-to-end round trip
+// for the cache-locality relabeling: a snapshot packed with -order-style
+// reordering must serve distances and routes in ORIGINAL vertex ids —
+// byte-identical to Dijkstra on the unreordered input — for every
+// engine, with the registry reporting the reorder and the persisted
+// radii both in effect.
+func TestReorderedSnapshotServesOriginalIDs(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(15, 15), 1, 50, 11)
+	for _, order := range []string{"bfs", "degree"} {
+		path := filepath.Join(t.TempDir(), order+".snap")
+		packReordered(t, g, order, path)
+
+		entry, err := BuildEntry(GraphConfig{Name: "g", Snapshot: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !entry.Info.Reordered {
+			t.Fatalf("order %s: entry does not report Reordered", order)
+		}
+		if entry.Info.RadiiSource != RadiiFromSnapshot {
+			t.Fatalf("order %s: radii source %q, want %q (reorder must not defeat the cold-start path)",
+				order, entry.Info.RadiiSource, RadiiFromSnapshot)
+		}
+		if entry.Backend.NumVertices() != g.NumVertices() {
+			t.Fatalf("order %s: %d vertices, want %d", order, entry.Backend.NumVertices(), g.NumVertices())
+		}
+
+		for _, src := range []rs.Vertex{0, 7, 113, 224} {
+			want := rs.Dijkstra(g, src)
+			for _, eng := range []rs.Engine{rs.EngineAuto, rs.EngineSequential, rs.EngineParallel, rs.EngineFlat, rs.EngineDelta, rs.EngineRho} {
+				got, _, err := entry.Backend.Distances(src, eng)
+				if err != nil {
+					t.Fatalf("order %s src %d engine %v: %v", order, src, eng, err)
+				}
+				for v := range got {
+					if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+						t.Fatalf("order %s src %d engine %v: dist[%d] = %v, want %v",
+							order, src, eng, v, got[v], want[v])
+					}
+				}
+			}
+		}
+
+		// Routes come back as original-id vertex sequences realizable in
+		// the original graph with the right length.
+		src, dst := rs.Vertex(0), rs.Vertex(224)
+		wantD := rs.Dijkstra(g, src)[dst]
+		path2, d, err := entry.Backend.Path(src, dst, rs.EngineAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != wantD {
+			t.Fatalf("order %s: path distance %v, want %v", order, d, wantD)
+		}
+		if len(path2) == 0 || path2[0] != src || path2[len(path2)-1] != dst {
+			t.Fatalf("order %s: path endpoints %v", order, path2)
+		}
+		if got, err := rs.PathLength(g, path2); err != nil || got != wantD {
+			t.Fatalf("order %s: path not realizable in original ids: length %v err %v, want %v",
+				order, got, err, wantD)
+		}
+	}
+}
+
+// TestReorderedRawSnapshotPreprocessesAndRemaps: a graph-only reordered
+// snapshot (graphpack -raw -order ...) preprocesses at load time and
+// still serves original ids.
+func TestReorderedRawSnapshotPreprocessesAndRemaps(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(9, 9), 1, 30, 5)
+	perm, err := rs.OrderByName(g, "bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "raw.snap")
+	if err := rs.WriteSnapshotFile(path, &rs.Snapshot{G: rs.ApplyOrder(g, perm), Perm: perm}); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := BuildEntry(GraphConfig{Name: "g", Snapshot: path, Rho: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entry.Info.Reordered {
+		t.Fatal("raw reordered snapshot does not report Reordered")
+	}
+	want := rs.Dijkstra(g, 3)
+	got, _, err := entry.Backend.Distances(3, rs.EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range got {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+// TestLoadGraphFileUndoesReordering: the "real input graph, original
+// ids" contract of LoadGraphFile holds for reordered snapshots, so
+// re-packing one never leaks stored ids.
+func TestLoadGraphFileUndoesReordering(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(8, 8), 1, 20, 3)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packReordered(t, g, "degree", path)
+	got, format, err := rs.LoadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != rs.FormatSnapshot {
+		t.Fatalf("format %v", format)
+	}
+	// Same metric under the identity mapping == same graph up to arc order.
+	for _, src := range []rs.Vertex{0, 13, 63} {
+		want, gotD := rs.Dijkstra(g, src), rs.Dijkstra(got, src)
+		for v := range want {
+			if math.Float64bits(want[v]) != math.Float64bits(gotD[v]) {
+				t.Fatalf("src %d: dist[%d] = %v, want %v", src, v, gotD[v], want[v])
+			}
+		}
+	}
+}
+
+// TestRemapBackendRejectsOutOfRange: the remapping layer validates ids
+// like the plain solver backend does — a clean error, never a panic
+// from the permutation lookup.
+func TestRemapBackendRejectsOutOfRange(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(6, 6), 1, 10, 2)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packReordered(t, g, "bfs", path)
+	entry, err := BuildEntry(GraphConfig{Name: "g", Snapshot: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rs.Vertex(g.NumVertices())
+	if _, _, err := entry.Backend.Distances(n, rs.EngineAuto); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, _, err := entry.Backend.Distances(-1, rs.EngineAuto); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, _, err := entry.Backend.Path(0, n+5, rs.EngineAuto); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}

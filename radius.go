@@ -354,6 +354,15 @@ func NewSnapshot(pre *Preprocessed, opt Options) (*Snapshot, error) {
 // The persisted ρ becomes the ρ-stepping quota, so a snapshot-loaded
 // solver answers engine=rho queries with the same step structure as one
 // preprocessed in-process with that ρ.
+//
+// A snapshot packed with a cache-locality relabeling (graphpack -order;
+// s.Perm != nil) yields a solver that operates in STORED ids: map query
+// sources through s.Perm[src] and returned distance vectors back with
+// UnpermuteFloats(dist, s.Perm) (vertices in paths map back through
+// InvertPerm) — exactly what the serving registry does transparently;
+// see internal/server's remapBackend. Callers that want original ids
+// without remapping should load via LoadGraphFile (which undoes the
+// relabeling) and preprocess with NewSolver instead.
 func SolverFromSnapshot(s *Snapshot, engine Engine) (*Solver, error) {
 	if s == nil || s.G == nil {
 		return nil, fmt.Errorf("radiusstep: nil snapshot")
