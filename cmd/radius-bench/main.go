@@ -8,14 +8,20 @@
 //	radius-bench -exp all -scale tiny
 //	radius-bench -engines all -gen road -n 100000 -trials 9
 //	radius-bench -engines seq,delta,rho -gen web -n 50000
-//	radius-bench -compare BENCH_4.json
+//	radius-bench -compare BENCH_5.json
+//	radius-bench -compare latest
 //
 // The -engines matrix mode emits per-engine p50/p90 solve latency and
 // per-solve allocation counts as JSON (the BENCH_* trajectory seed); it
 // exercises the same per-query engine-override path the daemon serves.
 // The -compare mode re-runs the workloads recorded in a committed
 // baseline file and exits nonzero when any engine's p50 latency
-// regressed by more than -compare-threshold (default 25%).
+// regressed by more than -compare-threshold (default 25%) or its
+// allocs-per-solve grew by more than -compare-alloc-threshold times the
+// baseline (default 2x, past an absolute noise floor). The special
+// baseline name "latest" resolves to the highest-numbered
+// BENCH_<n>.json in the working directory, so the gate always runs
+// against the freshest committed baseline.
 //
 // Scales: tiny (seconds), default (minutes), full (closer to the paper's
 // sizes; expect long runtimes — preprocessing is Θ(nρ²)).
@@ -43,8 +49,9 @@ func main() {
 	rho := flag.Int("rho", 32, "matrix mode: preprocessing ball size (and rho-stepping quota)")
 	trials := flag.Int("trials", 9, "matrix mode: timed solves per engine")
 	seed := flag.Uint64("seed", 42, "matrix mode: generator seed")
-	compare := flag.String("compare", "", "regression-gate mode: re-run the workloads in this baseline JSON (e.g. BENCH_4.json) and exit nonzero on p50 regressions")
+	compare := flag.String("compare", "", "regression-gate mode: re-run the workloads in this baseline JSON (e.g. BENCH_5.json, or 'latest' for the newest committed BENCH_<n>.json) and exit nonzero on p50 or allocation regressions")
 	threshold := flag.Float64("compare-threshold", 0.25, "compare mode: maximum tolerated p50 regression (0.25 = 25%)")
+	allocThreshold := flag.Float64("compare-alloc-threshold", 2.0, "compare mode: maximum tolerated allocs-per-solve growth factor (2 = doubled; <= 0 disables)")
 	flag.Parse()
 
 	if *list {
@@ -55,7 +62,16 @@ func main() {
 		return
 	}
 	if *compare != "" {
-		if err := bench.CompareEngineMatrix(os.Stdout, *compare, *threshold); err != nil {
+		path := *compare
+		if path == "latest" {
+			var err error
+			if path, err = bench.LatestBaseline("."); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("# baseline: %s\n", path)
+		}
+		if err := bench.CompareEngineMatrix(os.Stdout, path, *threshold, *allocThreshold); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

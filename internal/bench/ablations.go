@@ -108,7 +108,7 @@ func AblationEngines(w io.Writer, sc Scale) error {
 	}
 	t := &Table{
 		Caption: fmt.Sprintf("Ablation — engine cross-check on %s weighted (rho=%d)", wl.Name, rho),
-		Header:  []string{"engine", "steps", "substeps", "edges scanned", "relaxations"},
+		Header:  []string{"engine", "steps", "substeps", "edges scanned", "relaxations", "frontier p/b/m/x/st/sel"},
 	}
 	type eng struct {
 		name string
@@ -116,7 +116,7 @@ func AblationEngines(w io.Writer, sc Scale) error {
 	}
 	engines := []eng{
 		{"ref (sequential)", func() ([]float64, core.Stats, error) { return core.SolveRef(pre.G, pre.Radii, src) }},
-		{"pset (Algorithm 2)", func() ([]float64, core.Stats, error) { return core.Solve(pre.G, pre.Radii, src) }},
+		{"frontier (Algorithm 2)", func() ([]float64, core.Stats, error) { return core.Solve(pre.G, pre.Radii, src) }},
 		{"flat (sec. 3.4)", func() ([]float64, core.Stats, error) { return core.SolveFlat(pre.G, pre.Radii, src) }},
 		// The radius-free strategies match on distances only: their
 		// step rules are different algorithms, so step counts differ.
@@ -141,7 +141,16 @@ func AblationEngines(w io.Writer, sc Scale) error {
 				return fmt.Errorf("engine %s step mismatch: %d vs %d", e.name, st.Steps, refSteps)
 			}
 		}
-		t.Add(e.name, fi(int64(st.Steps)), fi(int64(st.Substeps)), fi(st.EdgesScanned), fi(st.Relaxations))
+		// Frontier-substrate ops (pushes/batches/merges/extracted/stale/
+		// selects) are nonzero only for the engines built on
+		// internal/frontier.
+		frOps := "-"
+		if st.Frontier.Pushes > 0 {
+			frOps = fmt.Sprintf("%d/%d/%d/%d/%d/%d",
+				st.Frontier.Pushes, st.Frontier.Batches, st.Frontier.Merges,
+				st.Frontier.Extracted, st.Frontier.Stale, st.Frontier.Selects)
+		}
+		t.Add(e.name, fi(int64(st.Steps)), fi(int64(st.Substeps)), fi(st.EdgesScanned), fi(st.Relaxations), frOps)
 	}
 	t.Render(w)
 	return nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -28,16 +29,26 @@ type EngineMatrixConfig struct {
 	Engines []string // engine names; empty means all five
 }
 
-// EngineBenchRow is one engine's measurement.
+// EngineBenchRow is one engine's measurement. The frontier* fields are
+// the ordered-frontier substrate's per-solve operation counters,
+// nonzero only for the engines built on it (parallel, rho) — the same
+// counters /v1/stats aggregates, so bench rows and serving telemetry
+// triangulate.
 type EngineBenchRow struct {
-	Engine         string  `json:"engine"`
-	P50Micros      float64 `json:"p50Micros"`
-	P90Micros      float64 `json:"p90Micros"`
-	AllocsPerSolve float64 `json:"allocsPerSolve"`
-	BytesPerSolve  float64 `json:"bytesPerSolve"`
-	Steps          int     `json:"steps"`
-	Substeps       int     `json:"substeps"`
-	Relaxations    int64   `json:"relaxations"`
+	Engine            string  `json:"engine"`
+	P50Micros         float64 `json:"p50Micros"`
+	P90Micros         float64 `json:"p90Micros"`
+	AllocsPerSolve    float64 `json:"allocsPerSolve"`
+	BytesPerSolve     float64 `json:"bytesPerSolve"`
+	Steps             int     `json:"steps"`
+	Substeps          int     `json:"substeps"`
+	Relaxations       int64   `json:"relaxations"`
+	FrontierPushes    int64   `json:"frontierPushes,omitempty"`
+	FrontierBatches   int64   `json:"frontierBatches,omitempty"`
+	FrontierMerges    int64   `json:"frontierMerges,omitempty"`
+	FrontierExtracted int64   `json:"frontierExtracted,omitempty"`
+	FrontierStale     int64   `json:"frontierStale,omitempty"`
+	FrontierSelects   int64   `json:"frontierSelects,omitempty"`
 }
 
 // EngineMatrixReport is the JSON envelope emitted by RunEngineMatrix.
@@ -143,14 +154,20 @@ func MeasureEngineMatrix(cfg EngineMatrixConfig) (*EngineMatrixReport, error) {
 		sort.Float64s(durs)
 
 		report.Rows = append(report.Rows, EngineBenchRow{
-			Engine:         name,
-			P50Micros:      durs[len(durs)/2],
-			P90Micros:      durs[len(durs)*9/10],
-			AllocsPerSolve: float64(after.Mallocs-before.Mallocs) / float64(cfg.Trials),
-			BytesPerSolve:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Trials),
-			Steps:          lastStats.Steps,
-			Substeps:       lastStats.Substeps,
-			Relaxations:    lastStats.Relaxations,
+			Engine:            name,
+			P50Micros:         durs[len(durs)/2],
+			P90Micros:         durs[len(durs)*9/10],
+			AllocsPerSolve:    float64(after.Mallocs-before.Mallocs) / float64(cfg.Trials),
+			BytesPerSolve:     float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Trials),
+			Steps:             lastStats.Steps,
+			Substeps:          lastStats.Substeps,
+			Relaxations:       lastStats.Relaxations,
+			FrontierPushes:    lastStats.Frontier.Pushes,
+			FrontierBatches:   lastStats.Frontier.Batches,
+			FrontierMerges:    lastStats.Frontier.Merges,
+			FrontierExtracted: lastStats.Frontier.Extracted,
+			FrontierStale:     lastStats.Frontier.Stale,
+			FrontierSelects:   lastStats.Frontier.Selects,
 		})
 	}
 	return report, nil
@@ -175,11 +192,52 @@ func ReadBaseline(path string) ([]EngineMatrixReport, error) {
 	return []EngineMatrixReport{one}, nil
 }
 
+// allocNoiseFloor is the absolute allocs-per-solve increase below which
+// the allocation gate stays quiet: an engine drifting from 1.4 to 4
+// allocs trips a naive 2x ratio but is runtime noise, not a leak.
+const allocNoiseFloor = 256
+
+// allocRegressed is the allocation-gate predicate: cur regressed against
+// base when it grew by more than factor times (factor <= 0 disables the
+// gate) AND the absolute increase clears the noise floor.
+func allocRegressed(base, cur, factor float64) bool {
+	return factor > 0 && cur > factor*base && cur-base > allocNoiseFloor
+}
+
+// LatestBaseline returns the highest-numbered BENCH_<n>.json in dir —
+// the freshest committed baseline, so `radius-bench -compare latest`
+// always gates against the newest trajectory point without hardcoding a
+// file name.
+func LatestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		name := filepath.Base(m)
+		var n int
+		if _, err := fmt.Sscanf(name, "BENCH_%d.json", &n); err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("bench: no BENCH_<n>.json baseline found in %s", dir)
+	}
+	return best, nil
+}
+
 // CompareEngineMatrix re-runs every workload recorded in the baseline
-// file on the current build and compares per-engine p50 latency. It
-// returns an error — the CI-gate signal — when any engine's p50 regressed
-// by more than maxRegress (0.25 = 25%). Improvements never fail the gate.
-func CompareEngineMatrix(w io.Writer, path string, maxRegress float64) error {
+// file on the current build and compares per-engine p50 latency and
+// allocation counts. It returns an error — the CI-gate signal — when any
+// engine's p50 regressed by more than maxRegress (0.25 = 25%), or its
+// allocs-per-solve grew by more than allocRegress times the baseline
+// (2 = doubled; <= 0 disables the allocation gate) beyond an absolute
+// noise floor. Improvements never fail the gate.
+func CompareEngineMatrix(w io.Writer, path string, maxRegress, allocRegress float64) error {
 	baselines, err := ReadBaseline(path)
 	if err != nil {
 		return err
@@ -206,7 +264,8 @@ func CompareEngineMatrix(w io.Writer, path string, maxRegress float64) error {
 		}
 		fmt.Fprintf(w, "workload %s (n=%d, m=%d, rho=%d, trials=%d)\n",
 			base.Graph, cur.Vertices, cur.Edges, base.Rho, base.Trials)
-		fmt.Fprintf(w, "  %-12s %14s %14s %8s\n", "engine", "base p50 (µs)", "now p50 (µs)", "ratio")
+		fmt.Fprintf(w, "  %-12s %14s %14s %8s %12s %12s\n",
+			"engine", "base p50 (µs)", "now p50 (µs)", "ratio", "base allocs", "now allocs")
 		for i, bRow := range base.Rows {
 			cRow := cur.Rows[i]
 			ratio := cRow.P50Micros / bRow.P50Micros
@@ -216,12 +275,20 @@ func CompareEngineMatrix(w io.Writer, path string, maxRegress float64) error {
 				regressions = append(regressions,
 					fmt.Sprintf("%s/%s p50 %.0fµs -> %.0fµs (%.2fx)", base.Graph, bRow.Engine, bRow.P50Micros, cRow.P50Micros, ratio))
 			}
-			fmt.Fprintf(w, "  %-12s %14.0f %14.0f %7.2fx%s\n", bRow.Engine, bRow.P50Micros, cRow.P50Micros, ratio, mark)
+			if allocRegressed(bRow.AllocsPerSolve, cRow.AllocsPerSolve, allocRegress) {
+				mark += "  ALLOCS-REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s allocs/solve %.0f -> %.0f (>%.1fx)",
+						base.Graph, bRow.Engine, bRow.AllocsPerSolve, cRow.AllocsPerSolve, allocRegress))
+			}
+			fmt.Fprintf(w, "  %-12s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
+				bRow.Engine, bRow.P50Micros, cRow.P50Micros, ratio,
+				bRow.AllocsPerSolve, cRow.AllocsPerSolve, mark)
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("bench: %d engine(s) regressed more than %.0f%%: %v",
-			len(regressions), maxRegress*100, regressions)
+		return fmt.Errorf("bench: %d regression(s) beyond the gate (p50 >%.0f%%, allocs >%.1fx): %v",
+			len(regressions), maxRegress*100, allocRegress, regressions)
 	}
 	return nil
 }

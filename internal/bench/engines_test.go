@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -76,7 +77,7 @@ func BenchmarkCompareSelf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// A 100x threshold: this gate checks the machinery, not the
 		// noisy single-iteration timings.
-		if err := CompareEngineMatrix(io.Discard, path, 100); err != nil {
+		if err := CompareEngineMatrix(io.Discard, path, 100, 100); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +105,7 @@ func TestCompareEngineMatrix(t *testing.T) {
 	}
 	write(*report)
 	// Generous threshold: same binary, must pass whatever the noise.
-	if err := CompareEngineMatrix(io.Discard, path, 1000); err != nil {
+	if err := CompareEngineMatrix(io.Discard, path, 1000, 1000); err != nil {
 		t.Fatalf("self-compare failed: %v", err)
 	}
 	// A baseline claiming sub-microsecond solves must trip the gate.
@@ -114,8 +115,67 @@ func TestCompareEngineMatrix(t *testing.T) {
 		fake.Rows[i].P50Micros = 0.001
 	}
 	write(fake)
-	if err := CompareEngineMatrix(io.Discard, path, 0.25); err == nil {
+	if err := CompareEngineMatrix(io.Discard, path, 0.25, 0); err == nil {
 		t.Fatal("fabricated regression not detected")
+	}
+	// A near-zero fabricated allocation baseline must NOT trip the gate
+	// (the absolute increase sits inside the noise floor), and neither
+	// may the true baseline with the gate disabled.
+	lean := *report
+	lean.Rows = append([]EngineBenchRow(nil), report.Rows...)
+	for i := range lean.Rows {
+		lean.Rows[i].AllocsPerSolve = 0.1
+	}
+	write(lean)
+	if err := CompareEngineMatrix(io.Discard, path, 1000, 2); err != nil {
+		t.Fatalf("allocation gate tripped inside the noise floor: %v", err)
+	}
+}
+
+// TestAllocRegressed pins the allocation-gate predicate: ratio and
+// absolute floor must BOTH clear, and factor <= 0 disables the gate.
+// This is the rule that catches a 500k-alloc/solve reintroduction (the
+// pre-frontier parallel engine) without flapping on 1-vs-3 noise.
+func TestAllocRegressed(t *testing.T) {
+	cases := []struct {
+		base, cur, factor float64
+		want              bool
+	}{
+		{1.4, 4, 2, false},           // ratio trips, floor saves: noise
+		{1.4, 513946, 2, true},       // the seed regression this PR fixes
+		{400, 900, 2, true},          // doubled and past the floor
+		{400, 700, 2, false},         // below the ratio
+		{500000, 100000, 2, false},   // improvement never fails
+		{1.4, 513946, 0, false},      // gate disabled
+		{0, 300, 2, true},            // zero baseline, real growth
+		{0, 100, 2, false},           // zero baseline, inside the floor
+		{100000, 200001, 2.5, false}, // custom factor honored
+	}
+	for i, c := range cases {
+		if got := allocRegressed(c.base, c.cur, c.factor); got != c.want {
+			t.Fatalf("case %d: allocRegressed(%v, %v, %v) = %v, want %v", i, c.base, c.cur, c.factor, got, c.want)
+		}
+	}
+}
+
+// TestLatestBaseline: the freshest committed BENCH_<n>.json wins, and a
+// directory without baselines errors.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_4.json", "BENCH_5.json", "BENCH_12.json", "BENCH_x.json", "other.json"} {
+		if err := os.WriteFile(dir+"/"+name, []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_12.json" {
+		t.Fatalf("LatestBaseline = %s, want BENCH_12.json", got)
+	}
+	if _, err := LatestBaseline(t.TempDir()); err == nil {
+		t.Fatal("empty dir produced a baseline")
 	}
 }
 

@@ -474,7 +474,7 @@ func Experiments() []Experiment {
 		{"table7", "weighted round-reduction factors", Table7},
 		{"ablation-k", "substeps vs k (Theorem 3.2 in practice)", AblationK},
 		{"ablation-delta", "radius-stepping vs delta-stepping rounds", AblationDelta},
-		{"ablation-engines", "engine cross-check (ref vs pset vs flat)", AblationEngines},
+		{"ablation-engines", "engine cross-check (ref vs frontier vs flat)", AblationEngines},
 		{"ablation-models", "rounds vs rho on RMAT and small-world graphs", AblationModels},
 		{"ablation-parallelism", "per-step settled-count distribution vs rho", AblationParallelism},
 	}

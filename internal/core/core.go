@@ -10,10 +10,11 @@
 //     the fastest single-thread variant and the one experiments use for
 //     step counting.
 //   - KindParallel (Solve): the paper's efficient parallel
-//     implementation (Algorithm 2): the Q and R priority sets are
-//     join-based ordered sets maintained with bulk split/union/
-//     difference, and substeps relax edges concurrently with
-//     priority-writes.
+//     implementation (Algorithm 2) on the flat ordered-frontier
+//     substrate (internal/frontier): the priority set Q is a collection
+//     of lazy-batched distance-sorted runs updated with bulk split/
+//     union, the d_i = min δ(v)+r(v) query replaces the R set, and
+//     substeps relax edges concurrently with priority-writes.
 //   - KindFlat (SolveFlat): the §3.4 frontier engine that avoids ordered
 //     sets by scanning the (small) fringe to pick each round distance;
 //     on unweighted graphs this is the paper's parallel-BFS-style
@@ -67,11 +68,20 @@ type Stats struct {
 	EdgesScanned int64
 	// MaxStep is the largest number of vertices settled in one step.
 	MaxStep int
+	// Frontier reports the ordered-frontier substrate's operation
+	// counters for the engines built on internal/frontier (parallel,
+	// rho); zero for the other engines.
+	Frontier FrontierOps
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("engine=%s steps=%d substeps=%d maxsub=%d relax=%d scanned=%d maxstep=%d",
+	out := fmt.Sprintf("engine=%s steps=%d substeps=%d maxsub=%d relax=%d scanned=%d maxstep=%d",
 		s.Engine, s.Steps, s.Substeps, s.MaxSubsteps, s.Relaxations, s.EdgesScanned, s.MaxStep)
+	if s.Frontier.Batches > 0 {
+		out += fmt.Sprintf(" frontier(batches=%d merges=%d extracted=%d stale=%d)",
+			s.Frontier.Batches, s.Frontier.Merges, s.Frontier.Extracted, s.Frontier.Stale)
+	}
+	return out
 }
 
 // validateSrc checks the source alone (the radius-free engines accept

@@ -1,132 +1,93 @@
 package core
 
 import (
-	"math"
-
+	"radiusstep/internal/frontier"
 	"radiusstep/internal/graph"
 	"radiusstep/internal/parallel"
-	"radiusstep/internal/pset"
 )
 
-// dv is the lexicographic (distance, vertex) key both priority sets use:
-// Q holds (δ(v), v), R holds (δ(v)+r(v), v).
-type dv struct {
-	d float64
-	v graph.V
+// FrontierOps aliases the ordered-frontier substrate's operation
+// counters so callers of the public API can read Stats.Frontier without
+// importing internal/frontier.
+type FrontierOps = frontier.Ops
+
+// frontierBacked is implemented by steppers built on the flat frontier
+// substrate; the driver folds their op counters into Stats.
+type frontierBacked interface {
+	frontierOps() frontier.Ops
 }
 
-func dvLess(a, b dv) bool { return a.d < b.d || (a.d == b.d && a.v < b.v) }
-
-func dvHash(k dv) uint64 {
-	return pset.Splitmix64(math.Float64bits(k.d) ^ uint64(uint32(k.v))*0x9e3779b97f4a7c15)
+// frontierStepper is the fringe of the paper's parallel engine
+// (Algorithm 2) on the flat arena-backed frontier substrate: the
+// priority set Q (keyed by δ(v)) is a lazy-batched run collection
+// instead of the pointer-based ordered sets of internal/pset. push and
+// settle stage their work as O(1) epoch-stamped records; commit seals
+// each substep's batch into a sorted run and merges runs lazily (the
+// bulk union), and collect is a binary-searched prefix extraction (the
+// split). The paper's second set R (keyed by δ(v)+r(v)) is not
+// materialized: its only role in Algorithm 2 is the d_i = min δ(v)+r(v)
+// query, which the substrate answers with one shifted min-reduction
+// over Q's runs — maintaining R's order cost as much as Q's and bought
+// nothing else. Same step/substep structure as the tree version, with
+// zero steady-state allocations and no pointer chasing.
+type frontierStepper struct {
+	ws *Workspace
+	q  *frontier.F
 }
 
-func newDVSet() *pset.Set[dv] { return pset.New(dvLess, dvHash) }
-
-// sortedDVSet builds an ordered set from an unsorted batch of unique-
-// vertex keys. The batch slice is only sorted, not retained: tree nodes
-// copy the keys, so callers may reuse it afterwards.
-func sortedDVSet(keys []dv) *pset.Set[dv] {
-	parallel.Sort(keys, dvLess)
-	return pset.NewSorted(keys, dvLess, dvHash)
+func (p *frontierStepper) reset() {
+	if p.q == nil {
+		p.q = frontier.New()
+	}
+	p.q.Reset(len(p.ws.bits))
 }
 
-// psetStepper is the fringe of the paper's parallel engine (Algorithm
-// 2): the priority sets Q and R are join-based ordered sets updated with
-// bulk split/union/difference. push and settle buffer their work; commit
-// applies it as one sorted difference plus one sorted union per substep.
-// inQ/qkey track membership and the exact key each vertex is stored
-// under, so removals never search the trees.
-type psetStepper struct {
-	ws   *Workspace
-	q, r *pset.Set[dv]
-	inQ  []bool
-	qkey []float64
-
-	qIns, qRem, rIns, rRem []dv
-}
-
-func (p *psetStepper) reset() {
-	n := len(p.ws.bits)
-	p.q, p.r = newDVSet(), newDVSet()
-	p.inQ = sized(p.inQ, n)
-	parallel.Fill(p.inQ, false)
-	p.qkey = sized(p.qkey, n)
-	p.qIns, p.qRem = p.qIns[:0], p.qRem[:0]
-	p.rIns, p.rRem = p.rIns[:0], p.rRem[:0]
-}
-
-func (p *psetStepper) seed(vs []graph.V) {
+func (p *frontierStepper) seed(vs []graph.V) {
 	for _, v := range vs {
 		p.push(v, parallel.FromBits(p.ws.bits[v]))
 	}
-	p.commit()
+	p.q.Commit()
 }
 
-func (p *psetStepper) target() (float64, graph.V, bool) {
-	if p.q.Len() == 0 {
+func (p *frontierStepper) target() (float64, graph.V, bool) {
+	// d_i = min over the fringe of δ(v)+r(v), ties to the smaller
+	// vertex — the same target (and lead) the ordered-set R produced.
+	v, di, ok := p.q.MinShifted(p.ws.radii)
+	if !ok {
 		return 0, -1, false
 	}
-	mn, _ := p.r.Min()
-	return mn.d, mn.v, true
+	return di, v, true
 }
 
-func (p *psetStepper) collect(di float64, dst []graph.V) []graph.V {
-	// A split of Q takes every key <= d_i, and a bulk difference removes
-	// the matching (δ(v)+r(v), v) keys from R.
-	aset := p.q.SplitLE(dv{di, math.MaxInt32})
-	rem := p.rRem[:0]
-	for _, k := range aset.Slice() {
-		v := k.v
-		p.inQ[v] = false
-		dst = append(dst, v)
-		rem = append(rem, dv{p.qkey[v] + p.ws.radii[v], v})
-	}
-	p.r.DiffWith(sortedDVSet(rem))
-	p.rRem = rem[:0]
-	return dst
+func (p *frontierStepper) collect(di float64, dst []graph.V) []graph.V {
+	// The split of Q takes every key <= d_i.
+	return p.q.ExtractBelow(di, dst)
 }
 
-func (p *psetStepper) push(v graph.V, d float64) {
-	if p.inQ[v] {
-		p.qRem = append(p.qRem, dv{p.qkey[v], v})
-		p.rRem = append(p.rRem, dv{p.qkey[v] + p.ws.radii[v], v})
-	}
-	p.inQ[v] = true
-	p.qkey[v] = d
-	p.qIns = append(p.qIns, dv{d, v})
-	p.rIns = append(p.rIns, dv{d + p.ws.radii[v], v})
+func (p *frontierStepper) push(v graph.V, d float64) {
+	p.q.Push(v, d)
 }
 
-func (p *psetStepper) settle(v graph.V) {
-	if p.inQ[v] {
-		p.qRem = append(p.qRem, dv{p.qkey[v], v})
-		p.rRem = append(p.rRem, dv{p.qkey[v] + p.ws.radii[v], v})
-		p.inQ[v] = false
-	}
+func (p *frontierStepper) settle(v graph.V) {
+	p.q.Drop(v)
 }
 
-func (p *psetStepper) commit() {
-	// Differences first: a moved vertex appears in both the removal (old
-	// key) and insertion (new key) batches.
-	if len(p.qRem) > 0 {
-		p.q.DiffWith(sortedDVSet(p.qRem))
-		p.r.DiffWith(sortedDVSet(p.rRem))
-		p.qRem, p.rRem = p.qRem[:0], p.rRem[:0]
-	}
-	if len(p.qIns) > 0 {
-		p.q.UnionWith(sortedDVSet(p.qIns))
-		p.r.UnionWith(sortedDVSet(p.rIns))
-		p.qIns, p.rIns = p.qIns[:0], p.rIns[:0]
-	}
+// commit is a no-op: the frontier self-commits at the next query
+// (target or collect), so a step's substeps pool their pushes into ONE
+// batch — a vertex improved in several substeps is sorted once, at its
+// final key, instead of once per substep.
+func (p *frontierStepper) commit() {}
+
+func (p *frontierStepper) frontierOps() frontier.Ops {
+	return p.q.Ops()
 }
 
 // Solve computes shortest-path distances from src with the parallel
 // Radius-Stepping engine of Algorithm 2. The priority sets Q and R are
-// join-based ordered sets updated with bulk split/union/difference, and
-// each Bellman–Ford substep relaxes the frontier's arcs concurrently
-// using priority-writes. Steps, substeps and distances are identical to
-// SolveRef.
+// flat arena-backed frontiers updated with bulk split/union (lazy
+// batched runs), and each Bellman–Ford substep relaxes the frontier's
+// arcs concurrently using priority-writes. Steps, substeps and
+// distances are identical to SolveRef.
 func Solve(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {
 	return SolveKind(g, radii, src, KindParallel, Params{}, nil)
 }

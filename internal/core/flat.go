@@ -7,7 +7,7 @@ import (
 	"radiusstep/internal/parallel"
 )
 
-// flatStepper is the frontier ("flat") fringe shared by three engines:
+// flatStepper is the frontier ("flat") fringe shared by two engines:
 // instead of ordered sets it keeps reached-but-unsettled vertices in a
 // plain array and picks each round distance with a reduction over the
 // fringe. The array may contain stale (settled) entries — every consumer
@@ -16,15 +16,15 @@ import (
 //
 //	KindFlat   d_i = min δ(v)+r(v)           (Radius-Stepping, §3.4)
 //	KindDelta  d_i = bucket ceiling of min δ (Δ-stepping)
-//	KindRho    d_i = ρ-th smallest δ         (ρ-stepping)
+//
+// (KindRho ran here before the frontier substrate landed; its rank-query
+// rule now lives in rhoStepper, answered by frontier.SelectKth.)
 type flatStepper struct {
 	ws            *Workspace
 	pending, rest []graph.V
-	keys          []float64 // live-key scratch for the ρ-quota selection
 
 	kind  EngineKind
 	delta float64
-	quota int
 }
 
 func (f *flatStepper) reset() {
@@ -50,28 +50,6 @@ func (f *flatStepper) target() (float64, graph.V, bool) {
 			di = minD
 		}
 		return di, f.pending[idx], true
-	case KindRho:
-		keys := f.keys[:0]
-		minIdx, minD := -1, math.Inf(1)
-		for i, v := range f.pending {
-			if f.ws.done[v] {
-				continue
-			}
-			d := parallel.FromBits(f.ws.bits[v])
-			keys = append(keys, d)
-			if d < minD {
-				minIdx, minD = i, d
-			}
-		}
-		f.keys = keys
-		if minIdx < 0 {
-			return 0, -1, false
-		}
-		q := f.quota
-		if q > len(keys) {
-			q = len(keys)
-		}
-		return nthSmallest(keys, q), f.pending[minIdx], true
 	default: // KindFlat
 		// d_i = min over the fringe of δ(v)+r(v); settled duplicates are
 		// skipped by treating them as +Inf.
@@ -136,39 +114,6 @@ func (f *flatStepper) push(v graph.V, _ float64) {
 func (f *flatStepper) settle(graph.V) {}
 
 func (f *flatStepper) commit() {}
-
-// nthSmallest returns the k-th smallest (1-based, 1 <= k <= len) element
-// of keys, partially reordering the slice (Hoare quickselect).
-func nthSmallest(keys []float64, k int) float64 {
-	t := k - 1
-	lo, hi := 0, len(keys)-1
-	for lo < hi {
-		pivot := keys[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for keys[i] < pivot {
-				i++
-			}
-			for keys[j] > pivot {
-				j--
-			}
-			if i <= j {
-				keys[i], keys[j] = keys[j], keys[i]
-				i++
-				j--
-			}
-		}
-		switch {
-		case t <= j:
-			hi = j
-		case t >= i:
-			lo = i
-		default:
-			return keys[t]
-		}
-	}
-	return keys[t]
-}
 
 // SolveFlat computes shortest-path distances from src with the frontier
 // ("flat") Radius-Stepping engine of §3.4: instead of ordered sets it

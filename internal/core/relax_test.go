@@ -45,6 +45,44 @@ func multiEdgeGraph() *graph.CSR {
 	return g
 }
 
+// disconnectedZeroMultigraph hand-builds the nastiest frontier input in
+// one graph: two components, genuine parallel arcs INCLUDING a doubled
+// zero-weight pair (so the ordered frontier sees repeated pushes of the
+// same vertex at equal keys), and an isolated vertex. Targets the
+// frontier substrate's stamp-based dedup on the engines rebuilt over it.
+func disconnectedZeroMultigraph() *graph.CSR {
+	type arc struct {
+		u, v graph.V
+		w    float64
+	}
+	arcs := []arc{
+		// Component A: 0-1 doubled at zero weight, 1-2 zero, 0-2 heavy.
+		{0, 1, 0}, {0, 1, 0}, {0, 2, 9},
+		{1, 0, 0}, {1, 0, 0}, {1, 2, 0},
+		{2, 1, 0}, {2, 0, 9},
+		// Component B: 3-4 doubled with distinct weights.
+		{3, 4, 1}, {3, 4, 2},
+		{4, 3, 1}, {4, 3, 2},
+		// Vertex 5 is isolated.
+	}
+	g := &graph.CSR{Off: make([]int64, 7)}
+	for _, a := range arcs {
+		g.Off[a.u+1]++
+	}
+	for i := 1; i < len(g.Off); i++ {
+		g.Off[i] += g.Off[i-1]
+	}
+	g.Adj = make([]graph.V, len(arcs))
+	g.W = make([]float64, len(arcs))
+	pos := append([]int64(nil), g.Off[:6]...)
+	for _, a := range arcs {
+		g.Adj[pos[a.u]] = a.v
+		g.W[pos[a.u]] = a.w
+		pos[a.u]++
+	}
+	return g
+}
+
 // clique returns the complete unit-weight graph on n vertices — the
 // dense workload whose frontier arcs dominate the unsettled remainder,
 // forcing the adaptive rule into pull.
@@ -71,6 +109,7 @@ func TestFiveEnginesByteIdenticalPushAndPull(t *testing.T) {
 	modes := []RelaxMode{RelaxPush, RelaxPull, RelaxAdaptive}
 	graphs := []*graph.CSR{
 		multiEdgeGraph(),
+		disconnectedZeroMultigraph(),
 		clique(40),
 	}
 	for trial := 0; trial < 12; trial++ {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"radiusstep/internal/frontier"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/parallel"
+)
+
+// rhoStepper is the ρ-stepping fringe (Dong et al.) on the flat
+// frontier substrate: one frontier keyed by tentative distance, with
+// each step's threshold answered by the substrate's rank query —
+// d_i is the ρ-th smallest live key — instead of a full fringe scan.
+// Extraction, like the parallel engine's, is a binary-searched prefix
+// split of the sorted runs, so a step touches the ρ-ish vertices it
+// settles rather than the whole fringe.
+type rhoStepper struct {
+	ws    *Workspace
+	f     *frontier.F
+	quota int
+}
+
+func (s *rhoStepper) reset() {
+	if s.f == nil {
+		s.f = frontier.New()
+	}
+	s.f.Reset(len(s.ws.bits))
+}
+
+func (s *rhoStepper) seed(vs []graph.V) {
+	for _, v := range vs {
+		s.f.Push(v, parallel.FromBits(s.ws.bits[v]))
+	}
+	s.f.Commit()
+}
+
+func (s *rhoStepper) target() (float64, graph.V, bool) {
+	m := s.f.Len()
+	if m == 0 {
+		return 0, -1, false
+	}
+	k := s.quota
+	if k > m {
+		k = m
+	}
+	// Head, not Min: the lead only labels the step trace, so any
+	// minimum-key witness serves — no equal-key tiebreak scan.
+	lead, _ := s.f.Head()
+	return s.f.SelectKth(k), lead.V, true
+}
+
+func (s *rhoStepper) collect(di float64, dst []graph.V) []graph.V {
+	return s.f.ExtractBelow(di, dst)
+}
+
+func (s *rhoStepper) push(v graph.V, d float64) { s.f.Push(v, d) }
+
+func (s *rhoStepper) settle(v graph.V) { s.f.Drop(v) }
+
+// commit defers to the next query's self-commit, pooling a step's
+// substep batches into one sort (see frontierStepper.commit).
+func (s *rhoStepper) commit() {}
+
+func (s *rhoStepper) frontierOps() frontier.Ops { return s.f.Ops() }

@@ -14,10 +14,10 @@ import (
 // settling threshold d_i is chosen:
 //
 //	KindSequential  lazy-heap fringe, radius rule, sequential relax
-//	KindParallel    ordered-set (pset) fringe, radius rule, parallel relax
+//	KindParallel    ordered frontier (Q/R runs), radius rule, parallel relax
 //	KindFlat        flat fringe, radius rule, parallel relax
 //	KindDelta       flat fringe, Δ bucket-ceiling rule, parallel relax
-//	KindRho         flat fringe, ρ-quota rule, parallel relax
+//	KindRho         ordered frontier, ρ-quota rank rule, parallel relax
 //
 // The first three are Radius-Stepping (Algorithms 1/2 and §3.4 of the
 // paper) and produce identical step and substep counts. KindDelta and
@@ -137,11 +137,21 @@ func (ws *Workspace) stepperFor(kind EngineKind, p Params) stepper {
 		}
 		return ws.hp
 	case KindParallel:
-		if ws.ps == nil {
-			ws.ps = &psetStepper{ws: ws}
+		if ws.fs == nil {
+			ws.fs = &frontierStepper{ws: ws}
 		}
-		return ws.ps
-	default: // the flat-fringe family: flat, delta, rho
+		return ws.fs
+	case KindRho:
+		if ws.rh == nil {
+			ws.rh = &rhoStepper{ws: ws}
+		}
+		r := ws.rh
+		r.quota = p.Rho
+		if r.quota <= 0 {
+			r.quota = defaultRhoQuota
+		}
+		return r
+	default: // the flat-fringe family: flat, delta
 		if ws.fl == nil {
 			ws.fl = &flatStepper{ws: ws}
 		}
@@ -150,10 +160,6 @@ func (ws *Workspace) stepperFor(kind EngineKind, p Params) stepper {
 		f.delta = p.Delta
 		if kind == KindDelta && !(f.delta > 0) {
 			f.delta = DefaultDelta(ws.g)
-		}
-		f.quota = p.Rho
-		if f.quota <= 0 {
-			f.quota = defaultRhoQuota
 		}
 		return f
 	}
@@ -314,5 +320,8 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 		}
 	}
 	ws.active, ws.frontier, ws.next = active[:0], frontier[:0], next[:0]
+	if fb, ok := sp.(frontierBacked); ok {
+		st.Frontier = fb.frontierOps()
+	}
 	return parallel.BitsToFloats(ws.bits), st, nil
 }

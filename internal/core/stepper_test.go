@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 	"math/rand"
-	"sort"
 	"testing"
 
 	"radiusstep/internal/baseline"
@@ -172,22 +171,8 @@ func TestDeltaRhoStepStructure(t *testing.T) {
 	}
 }
 
-func TestNthSmallest(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	for trial := 0; trial < 200; trial++ {
-		n := 1 + rng.Intn(40)
-		keys := make([]float64, n)
-		for i := range keys {
-			keys[i] = float64(rng.Intn(10)) // heavy ties
-		}
-		sorted := append([]float64(nil), keys...)
-		sort.Float64s(sorted)
-		k := 1 + rng.Intn(n)
-		if got := nthSmallest(keys, k); got != sorted[k-1] {
-			t.Fatalf("trial %d: nthSmallest(%v, %d) = %v, want %v", trial, keys, k, got, sorted[k-1])
-		}
-	}
-}
+// (TestNthSmallest moved to internal/frontier with the quickselect: the
+// rank query is now the substrate's SelectKth.)
 
 func TestDefaultDelta(t *testing.T) {
 	if d := DefaultDelta(graph.FromEdges(1, nil)); !(d > 0) {

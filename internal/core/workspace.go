@@ -79,7 +79,8 @@ type Workspace struct {
 	remArcs int64
 
 	hp *heapStepper
-	ps *psetStepper
+	fs *frontierStepper
+	rh *rhoStepper
 	fl *flatStepper
 
 	step  uint32 // current step stamp (1-based within a solve)

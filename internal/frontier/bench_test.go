@@ -1,0 +1,116 @@
+package frontier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The four substrate operations benchmarked across four decades of
+// frontier size — the CI perf-smoke sweep runs each once (-benchtime 1x)
+// so regressions that break compilation or explode complexity surface
+// early; timings are compared on a quiet box via radius-bench.
+
+func benchSizes() []int { return []int{1_000, 10_000, 100_000, 1_000_000} }
+
+func benchKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = float64(rng.Intn(1 << 20))
+	}
+	return keys
+}
+
+func buildFrontier(f *F, keys []float64) {
+	f.Reset(len(keys))
+	for v, k := range keys {
+		f.Push(int32(v), k)
+	}
+	f.Commit()
+}
+
+// BenchmarkBuild measures bulk build: n pushes sealed into runs.
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := New()
+			keys := benchKeys(n, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buildFrontier(f, keys)
+			}
+		})
+	}
+}
+
+// BenchmarkExtract measures the split: draining a built frontier with
+// 16 ascending thresholds.
+func BenchmarkExtract(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := New()
+			keys := benchKeys(n, 2)
+			var buf []int32
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				buildFrontier(f, keys)
+				b.StartTimer()
+				for t := 1; t <= 16; t++ {
+					buf = f.ExtractBelow(float64(t)*float64(1<<16), buf[:0])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUnion measures the lazy batched union: 16 incremental
+// batches of n/16 decrease-keys committed into an n-entry frontier.
+func BenchmarkUnion(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := New()
+			keys := benchKeys(n, 3)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				buildFrontier(f, keys)
+				b.StartTimer()
+				batch := n / 16
+				if batch == 0 {
+					batch = 1
+				}
+				for lo := 0; lo < n; lo += batch {
+					hi := lo + batch
+					if hi > n {
+						hi = n
+					}
+					for v := lo; v < hi; v++ {
+						f.Push(int32(v), keys[v]/2)
+					}
+					f.Commit()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelect measures the rank query serving the ρ-stepping quota
+// rule: 16 SelectKth calls at spread ranks on a built frontier.
+func BenchmarkSelect(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := New()
+			buildFrontier(f, benchKeys(n, 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for t := 1; t <= 16; t++ {
+					_ = f.SelectKth(t * f.Len() / 17)
+				}
+			}
+		})
+	}
+}

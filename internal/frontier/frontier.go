@@ -1,0 +1,498 @@
+// Package frontier implements the flat, arena-backed ordered frontier
+// that backs the paper's parallel engine (Algorithm 2) and the
+// ρ-stepping engine: a lazy-batched priority multiset in the style of
+// Dong et al., "Efficient Stepping Algorithms and Implementations for
+// Parallel Shortest Paths" (2021), replacing the pointer-based ordered
+// sets of internal/pset on the query hot path.
+//
+// The structure keeps its (key, vertex) entries in a small collection of
+// distance-sorted runs plus one unsorted staging batch:
+//
+//   - Push records an insert or decrease-key lazily: one append to the
+//     staging batch plus a per-vertex epoch bump that invalidates every
+//     older entry for that vertex (stamp-based deduplication — stale
+//     entries are never searched for, only skipped when met).
+//   - Commit seals the staging batch into a new sorted run (the bulk
+//     union of Algorithm 2), then restores the size-tiered run invariant
+//     by merging the topmost runs; merges drop stale entries, so the
+//     arena compacts itself as a side effect of ordinary operation.
+//   - ExtractBelow(d) removes and returns every live vertex with
+//     key <= d — Algorithm 2's split — touching only a binary search
+//     plus the extracted prefix of each run.
+//   - Min returns the smallest live (key, vertex), skipping dead run
+//     heads permanently (lazy deletion, amortized O(1) per entry).
+//   - SelectKth answers the ρ-th-smallest rank query of ρ-stepping
+//     directly from the runs, replacing the ordered-set rank search.
+//
+// All storage is workspace-owned and grow-only: run buffers retire into
+// a free arena on Reset and are reused by later solves, so a
+// steady-state solve performs no allocations. Sorting and merging of
+// large runs go through internal/parallel's sort/merge primitives; the
+// rank-query scan parallelizes over run blocks. A frontier is not safe
+// for concurrent use — per-worker staging happens upstream (the relax
+// kernels' per-worker buffers), and batches arrive here already merged.
+//
+// internal/pset remains in the tree as the differential-testing oracle
+// for this package: both expose the same extract/union/select semantics,
+// and the property tests drive them with identical operation sequences.
+package frontier
+
+import (
+	"math"
+
+	"radiusstep/internal/parallel"
+)
+
+// Entry is one frontier element: a vertex and the key it was filed
+// under. E is the vertex's push epoch at filing time; an entry is live
+// iff it carries the vertex's current epoch (older entries are stale and
+// skipped wherever they surface). Keys must not be NaN.
+type Entry struct {
+	Key float64
+	V   int32
+	E   uint32
+}
+
+// lessEntry orders entries lexicographically by (Key, V), the same
+// total order the pset engine used for its tree keys. It is the
+// tie-breaking order of Min; run STORAGE order is by Key alone (see
+// entrysort.go).
+func lessEntry(a, b Entry) bool {
+	return a.Key < b.Key || (a.Key == b.Key && a.V < b.V)
+}
+
+// Ops counts substrate operations for one solve — the observability
+// hook surfaced through core.Stats, the engine-matrix benchmark rows,
+// and the daemon's /v1/stats frontier section.
+type Ops struct {
+	// Pushes counts lazy insert/decrease-key records staged.
+	Pushes int64 `json:"pushes"`
+	// Batches counts staging batches sealed into sorted runs.
+	Batches int64 `json:"batches"`
+	// Merges counts run merges (the lazy batched union restoring the
+	// size-tier invariant).
+	Merges int64 `json:"merges"`
+	// Extracted counts live entries removed by ExtractBelow.
+	Extracted int64 `json:"extracted"`
+	// Stale counts dead entries skipped or compacted away.
+	Stale int64 `json:"stale"`
+	// Selects counts rank queries served by SelectKth.
+	Selects int64 `json:"selects"`
+}
+
+// run is one distance-sorted slice of entries; start indexes the first
+// unconsumed entry (extraction and head-skipping advance it, so the
+// consumed prefix is never revisited).
+type run struct {
+	ents  []Entry
+	start int
+}
+
+func (r *run) size() int { return len(r.ents) - r.start }
+
+// sortParThreshold is the batch size above which sealing a run uses the
+// parallel merge sort (below it, a zero-allocation sequential sort).
+const sortParThreshold = 1 << 13
+
+// mergeParThreshold is the combined size above which a run merge uses
+// the parallel merge primitive.
+const mergeParThreshold = 1 << 14
+
+// selectGrain is the per-block work size of the parallel rank-query
+// scan.
+const selectGrain = 1 << 13
+
+// F is a flat ordered frontier over vertices [0, n). The zero value is
+// NOT ready; obtain one from New and call Reset before each solve.
+// Buffers are grow-only and reused across solves.
+type F struct {
+	// Per-vertex state. mark[v] == stamp means v is currently in the
+	// frontier; epoch[v] is bumped by every push so older entries go
+	// stale; cur[v] is the key of v's live entry (valid while marked).
+	mark  []uint32
+	epoch []uint32
+	cur   []float64
+	stamp uint32
+	liveN int
+
+	stage   []Entry // unsorted staging batch (pending bulk union)
+	runs    []run   // size-tiered sorted runs, oldest first
+	free    [][]Entry
+	scratch []Entry // parallel-sort scratch, grow-only
+
+	keys   []float64 // rank-query gather buffer
+	counts []int64   // rank-query per-block offsets
+
+	ops Ops
+}
+
+// New returns an empty frontier. Call Reset before use.
+func New() *F { return &F{} }
+
+// Reset prepares the frontier for a solve over n vertices: membership is
+// cleared by advancing the solve stamp (no O(n) sweep), run buffers
+// retire into the free arena for reuse, and the op counters restart.
+func (f *F) Reset(n int) {
+	f.mark = sizedU32(f.mark, n)
+	f.epoch = sizedU32(f.epoch, n)
+	f.cur = sizedF64(f.cur, n)
+	if f.stamp == ^uint32(0) {
+		parallel.Fill(f.mark, 0)
+		f.stamp = 0
+	}
+	f.stamp++
+	f.liveN = 0
+	f.stage = f.stage[:0]
+	for i := range f.runs {
+		f.retire(f.runs[i].ents)
+	}
+	f.runs = f.runs[:0]
+	f.ops = Ops{}
+}
+
+// Len reports the number of live vertices in the frontier.
+func (f *F) Len() int { return f.liveN }
+
+// Ops returns the operation counters accumulated since Reset.
+func (f *F) Ops() Ops { return f.ops }
+
+// Contains reports whether v is live in the frontier.
+func (f *F) Contains(v int32) bool { return f.mark[v] == f.stamp }
+
+// Key returns v's current key; ok is false when v is not in the
+// frontier.
+func (f *F) Key(v int32) (key float64, ok bool) {
+	if f.mark[v] != f.stamp {
+		return 0, false
+	}
+	return f.cur[v], true
+}
+
+// Push inserts v with the given key, or moves it there if already
+// present (both decrease- and increase-key are supported; the engines
+// only ever decrease). The update is lazy: one staged entry plus an
+// epoch bump that strands every older entry for v. Pushing a vertex at
+// its current key is a no-op.
+func (f *F) Push(v int32, key float64) {
+	if f.mark[v] == f.stamp {
+		if f.cur[v] == key {
+			return
+		}
+	} else {
+		f.mark[v] = f.stamp
+		f.liveN++
+	}
+	f.cur[v] = key
+	f.epoch[v]++
+	f.stage = append(f.stage, Entry{Key: key, V: v, E: f.epoch[v]})
+	f.ops.Pushes++
+}
+
+// Drop removes v from the frontier if present. Lazy: v's entries stay in
+// place and are skipped as stale when met.
+func (f *F) Drop(v int32) {
+	if f.mark[v] == f.stamp {
+		f.mark[v] = 0
+		f.liveN--
+	}
+}
+
+// live reports whether e is the current entry of its vertex.
+func (f *F) live(e Entry) bool {
+	return f.mark[e.V] == f.stamp && f.epoch[e.V] == e.E
+}
+
+// Commit seals the staging batch into a sorted run and restores the
+// size-tier invariant (each run at least twice the size of the next
+// newer one) by merging the topmost runs — the lazy bulk union. A
+// no-op when nothing is staged. Queries (Min, ExtractBelow, SelectKth)
+// self-commit, so calling Commit is an optimization, not a correctness
+// requirement.
+func (f *F) Commit() {
+	if len(f.stage) == 0 {
+		return
+	}
+	// Drop staged entries already superseded (re-pushed or dropped since
+	// staging) before paying for the sort: with commits deferred across
+	// a step's substeps, a vertex improved k times stages k entries but
+	// only the last is live.
+	w := 0
+	for _, e := range f.stage {
+		if f.live(e) {
+			f.stage[w] = e
+			w++
+		} else {
+			f.ops.Stale++
+		}
+	}
+	ents := f.stage[:w]
+	f.stage = f.takeBuf(cap(f.stage))[:0]
+	if len(ents) == 0 {
+		f.retire(ents)
+		return
+	}
+	f.sortEntries(ents)
+	f.runs = append(f.runs, run{ents: ents})
+	f.ops.Batches++
+	for len(f.runs) >= 2 && f.runs[len(f.runs)-2].size() < 2*f.runs[len(f.runs)-1].size() {
+		f.mergeTopTwo()
+	}
+}
+
+// sortEntries sorts ents by Key: a zero-allocation sequential sort for
+// typical batch sizes, the parallel merge sort (with pooled scratch)
+// for large ones.
+func (f *F) sortEntries(ents []Entry) {
+	if len(ents) > sortParThreshold && parallel.Procs() > 1 {
+		if cap(f.scratch) < len(ents) {
+			// Round up like takeBuf so a frontier that ramps across
+			// steps reallocates the scratch O(log) times, not per seal.
+			c := 2 * sortParThreshold
+			for c < len(ents) {
+				c <<= 1
+			}
+			f.scratch = make([]Entry, c)
+		}
+		parallel.SortScratch(ents, f.scratch[:cap(f.scratch)], lessKey)
+		return
+	}
+	sortEnts(ents)
+}
+
+// mergeTopTwo merges the two newest runs into one, dropping stale
+// entries (compaction) before the merge so the arena never accretes dead
+// weight.
+func (f *F) mergeTopTwo() {
+	k := len(f.runs)
+	a, b := &f.runs[k-2], &f.runs[k-1]
+	f.compact(a)
+	f.compact(b)
+	la, lb := len(a.ents), len(b.ents)
+	out := f.takeBuf(la + lb)[:la+lb]
+	switch {
+	case la == 0:
+		copy(out, b.ents)
+	case lb == 0:
+		copy(out, a.ents)
+	case la+lb > mergeParThreshold && parallel.Procs() > 1:
+		parallel.Merge(a.ents, b.ents, out, lessKey)
+	default:
+		mergeEntries(a.ents, b.ents, out)
+	}
+	f.retire(a.ents)
+	f.retire(b.ents)
+	f.runs[k-2] = run{ents: out}
+	f.runs = f.runs[:k-1]
+	f.ops.Merges++
+}
+
+// compact rewrites r in place keeping only live entries (order
+// preserved; the write index never catches the read index).
+func (f *F) compact(r *run) {
+	w := 0
+	for _, e := range r.ents[r.start:] {
+		if f.live(e) {
+			r.ents[w] = e
+			w++
+		} else {
+			f.ops.Stale++
+		}
+	}
+	r.ents = r.ents[:w]
+	r.start = 0
+}
+
+// mergeEntries is the sequential two-pointer merge of Key-sorted a and
+// b into out (len(out) == len(a)+len(b)).
+func mergeEntries(a, b, out []Entry) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Key < a[i].Key {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// Min returns the smallest live (key, vertex) under (Key, V) order; ok
+// is false when the frontier is empty. Stale run heads are skipped and
+// permanently consumed, so finding each run's minimum KEY is O(runs)
+// amortized; because runs are Key-sorted only, the vertex tiebreak
+// scans the live head's equal-key prefix (typically a handful of
+// entries — all keys equal, as on unweighted graphs, degrades this to a
+// run scan, the same class as the rank query that accompanies it).
+func (f *F) Min() (e Entry, ok bool) {
+	f.Commit()
+	if f.liveN == 0 {
+		return Entry{}, false
+	}
+	best := Entry{Key: math.Inf(1), V: -1}
+	for i := range f.runs {
+		r := &f.runs[i]
+		for r.start < len(r.ents) && !f.live(r.ents[r.start]) {
+			r.start++
+			f.ops.Stale++
+		}
+		if r.start == len(r.ents) {
+			continue
+		}
+		h := r.ents[r.start]
+		for j := r.start + 1; j < len(r.ents) && r.ents[j].Key == h.Key; j++ {
+			if c := r.ents[j]; c.V < h.V && f.live(c) {
+				h = c
+			}
+		}
+		if lessEntry(h, best) || best.V < 0 {
+			best = h
+		}
+	}
+	return best, best.V >= 0
+}
+
+// Head returns a live entry with the minimum key, ties broken
+// arbitrarily (whichever run head wins); ok is false when the frontier
+// is empty. Unlike Min it never scans an equal-key prefix for the
+// vertex tiebreak, so it is O(runs) amortized even when every key is
+// equal — use it when any minimum-key witness will do (the ρ-stepping
+// lead vertex).
+func (f *F) Head() (e Entry, ok bool) {
+	f.Commit()
+	if f.liveN == 0 {
+		return Entry{}, false
+	}
+	best := Entry{Key: math.Inf(1), V: -1}
+	for i := range f.runs {
+		r := &f.runs[i]
+		for r.start < len(r.ents) && !f.live(r.ents[r.start]) {
+			r.start++
+			f.ops.Stale++
+		}
+		if r.start == len(r.ents) {
+			continue
+		}
+		if h := r.ents[r.start]; h.Key < best.Key || best.V < 0 {
+			best = h
+		}
+	}
+	return best, best.V >= 0
+}
+
+// MinShifted returns the live vertex minimizing Key + shift[V] (ties
+// broken toward the smaller vertex id) and that minimum; ok is false
+// when the frontier is empty. This is the radius-stepping target rule
+// d_i = min δ(v)+r(v) answered directly from the runs: Algorithm 2's R
+// set exists only to serve this query, so the flat substrate replaces
+// the second ordered set with one stale-skipping reduction over Q.
+// Unlike Min, the scan cannot exploit run order (the shift reorders
+// entries), so it touches every entry; radius-stepping keeps steps few
+// precisely so this per-step cost stays small.
+func (f *F) MinShifted(shift []float64) (v int32, val float64, ok bool) {
+	f.Commit()
+	if f.liveN == 0 {
+		return -1, 0, false
+	}
+	best, bestV := math.Inf(1), int32(-1)
+	for i := range f.runs {
+		r := &f.runs[i]
+		for _, e := range r.ents[r.start:] {
+			if !f.live(e) {
+				continue
+			}
+			s := e.Key + shift[e.V]
+			if s < best || (s == best && (bestV < 0 || e.V < bestV)) {
+				best, bestV = s, e.V
+			}
+		}
+	}
+	return bestV, best, bestV >= 0
+}
+
+// ExtractBelow removes every live vertex with key <= threshold from the
+// frontier, appending them to dst — the split of Algorithm 2 (line 7).
+// Only a binary search plus the extracted prefix of each run is touched;
+// extraction order is per-run ascending, not globally sorted.
+func (f *F) ExtractBelow(threshold float64, dst []int32) []int32 {
+	f.Commit()
+	w := 0
+	for i := range f.runs {
+		r := &f.runs[i]
+		ents := r.ents
+		// First index past the threshold (entries are Key-sorted).
+		lo, hi := r.start, len(ents)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ents[mid].Key <= threshold {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for j := r.start; j < lo; j++ {
+			e := ents[j]
+			if f.live(e) {
+				f.mark[e.V] = 0
+				f.liveN--
+				f.ops.Extracted++
+				dst = append(dst, e.V)
+			} else {
+				f.ops.Stale++
+			}
+		}
+		r.start = lo
+		if r.start == len(ents) {
+			f.retire(ents)
+		} else {
+			f.runs[w] = *r
+			w++
+		}
+	}
+	f.runs = f.runs[:w]
+	return dst
+}
+
+// takeBuf returns a retired buffer with capacity >= n (length 0), or
+// allocates one. The free arena is scanned newest-first; fits are the
+// common case once sizes stabilize, making steady-state solves
+// allocation-free.
+func (f *F) takeBuf(n int) []Entry {
+	for i := len(f.free) - 1; i >= 0; i-- {
+		if cap(f.free[i]) >= n {
+			buf := f.free[i]
+			last := len(f.free) - 1
+			f.free[i] = f.free[last]
+			f.free[last] = nil
+			f.free = f.free[:last]
+			return buf[:0]
+		}
+	}
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return make([]Entry, 0, c)
+}
+
+// retire returns a run buffer to the free arena for reuse.
+func (f *F) retire(buf []Entry) {
+	f.free = append(f.free, buf[:0])
+}
+
+func sizedU32(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
+}
+
+func sizedF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,131 @@
+package frontier
+
+import (
+	"slices"
+
+	"radiusstep/internal/parallel"
+)
+
+// SelectKth returns the k-th smallest (1-based) live key in the
+// frontier, the rank query behind the ρ-stepping quota rule — d_i is
+// the ρ-th smallest tentative distance. k is clamped to [1, Len()];
+// calling it on an empty frontier panics. The live keys are gathered
+// from the runs (block-parallel for large frontiers) and selected with
+// an in-place quickselect, replacing the O(log n)-pointer-chase rank
+// search of the ordered-set substrate with two cache-friendly passes.
+func (f *F) SelectKth(k int) float64 {
+	f.Commit()
+	if f.liveN == 0 {
+		panic("frontier: SelectKth on empty frontier")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > f.liveN {
+		k = f.liveN
+	}
+	f.ops.Selects++
+	keys := f.gatherLiveKeys()
+	return nthSmallest(keys, k)
+}
+
+// gatherLiveKeys collects the keys of every live entry into the pooled
+// gather buffer. Small runs append sequentially; a large run is packed
+// with a block count / exclusive scan / scatter pass over pooled
+// buffers, so the scan parallelizes without allocating.
+func (f *F) gatherLiveKeys() []float64 {
+	keys := f.keys[:0]
+	for i := range f.runs {
+		r := &f.runs[i]
+		ents := r.ents[r.start:]
+		if len(ents) > selectGrain && parallel.Procs() > 1 {
+			keys = f.packRun(ents, keys)
+			continue
+		}
+		for _, e := range ents {
+			if f.live(e) {
+				keys = append(keys, e.Key)
+			}
+		}
+	}
+	f.keys = keys
+	return keys
+}
+
+// packRun appends the live keys of ents to keys with a three-pass
+// parallel pack: per-block live counts, an exclusive scan into offsets,
+// then a parallel scatter.
+func (f *F) packRun(ents []Entry, keys []float64) []float64 {
+	nb := (len(ents) + selectGrain - 1) / selectGrain
+	if cap(f.counts) < nb {
+		f.counts = make([]int64, nb)
+	}
+	counts := f.counts[:nb]
+	parallel.Blocks(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*selectGrain, (b+1)*selectGrain
+			if hi > len(ents) {
+				hi = len(ents)
+			}
+			var c int64
+			for _, e := range ents[lo:hi] {
+				if f.live(e) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	total := parallel.ExclusiveScan(counts, counts)
+	base := len(keys)
+	keys = slices.Grow(keys, int(total))[:base+int(total)]
+	parallel.Blocks(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*selectGrain, (b+1)*selectGrain
+			if hi > len(ents) {
+				hi = len(ents)
+			}
+			pos := base + int(counts[b])
+			for _, e := range ents[lo:hi] {
+				if f.live(e) {
+					keys[pos] = e.Key
+					pos++
+				}
+			}
+		}
+	})
+	return keys
+}
+
+// nthSmallest returns the k-th smallest (1-based, 1 <= k <= len) element
+// of keys, partially reordering the slice (Hoare quickselect).
+func nthSmallest(keys []float64, k int) float64 {
+	t := k - 1
+	lo, hi := 0, len(keys)-1
+	for lo < hi {
+		pivot := keys[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for keys[i] < pivot {
+				i++
+			}
+			for keys[j] > pivot {
+				j--
+			}
+			if i <= j {
+				keys[i], keys[j] = keys[j], keys[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case t <= j:
+			hi = j
+		case t >= i:
+			lo = i
+		default:
+			return keys[t]
+		}
+	}
+	return keys[t]
+}

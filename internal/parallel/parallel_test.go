@@ -331,6 +331,81 @@ func TestSortQuickProperty(t *testing.T) {
 	}
 }
 
+// TestSortScratch: the allocation-conscious variant must sort exactly
+// like Sort across the sequential/parallel size boundary, reusing the
+// caller's scratch.
+func TestSortScratch(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	scratch := make([]int, sortSeqThreshold*4+9)
+	for _, n := range []int{0, 1, 2, 100, sortSeqThreshold + 1, sortSeqThreshold*4 + 9} {
+		data := make([]int, n)
+		for i := range data {
+			data[i] = r.IntN(1000)
+		}
+		counts := map[int]int{}
+		for _, v := range data {
+			counts[v]++
+		}
+		SortScratch(data, scratch, func(a, b int) bool { return a < b })
+		if !IsSorted(data, func(a, b int) bool { return a < b }) {
+			t.Fatalf("n=%d not sorted", n)
+		}
+		for _, v := range data {
+			counts[v]--
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Fatalf("n=%d: element %d count off by %d", n, k, c)
+			}
+		}
+	}
+}
+
+// TestMerge: sorted inputs of every size mix (empty sides, ties,
+// parallel-threshold crossers) merge into one sorted multiset.
+func TestMerge(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	r := rand.New(rand.NewPCG(9, 10))
+	for _, sz := range [][2]int{{0, 0}, {0, 5}, {5, 0}, {7, 9}, {1000, 3}, {mergeSeqThreshold, mergeSeqThreshold + 17}} {
+		a := make([]int, sz[0])
+		b := make([]int, sz[1])
+		for i := range a {
+			a[i] = r.IntN(200)
+		}
+		for i := range b {
+			b[i] = r.IntN(200)
+		}
+		Sort(a, less)
+		Sort(b, less)
+		out := make([]int, len(a)+len(b))
+		Merge(a, b, out, less)
+		if !IsSorted(out, less) {
+			t.Fatalf("merge %v: output not sorted", sz)
+		}
+		counts := map[int]int{}
+		for _, v := range a {
+			counts[v]++
+		}
+		for _, v := range b {
+			counts[v]++
+		}
+		for _, v := range out {
+			counts[v]--
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Fatalf("merge %v: element %d count off by %d", sz, k, c)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length-mismatched Merge did not panic")
+		}
+	}()
+	Merge([]int{1}, []int{2}, make([]int, 3), less)
+}
+
 func TestLowerBound(t *testing.T) {
 	s := []int{1, 3, 3, 5, 9}
 	less := func(a, b int) bool { return a < b }

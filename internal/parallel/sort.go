@@ -12,7 +12,7 @@ const mergeSeqThreshold = 1 << 14
 // sortSeq is the sequential fallback: slices.SortFunc (generic pdqsort,
 // comparator inlined at instantiation) rather than sort.Slice, whose
 // reflect-based swapper dominated profiles of the ordered-set engine —
-// the pset bulk updates sort a small batch every substep, so the
+// the ordered-set engine once sorted a small batch every substep, so the
 // constant factor here is hot-path cost.
 func sortSeq[T any](data []T, less func(a, b T) bool) {
 	slices.SortFunc(data, func(a, b T) int {
@@ -37,6 +37,31 @@ func Sort[T any](data []T, less func(a, b T) bool) {
 	}
 	buf := make([]T, n)
 	mergeSortInto(data, buf, less, true)
+}
+
+// SortScratch is Sort with caller-provided scratch storage
+// (cap(scratch) >= len(data)), so repeat callers on a hot path — the
+// frontier substrate sealing sorted runs every step — avoid Sort's
+// internal buffer allocation entirely.
+func SortScratch[T any](data, scratch []T, less func(a, b T) bool) {
+	n := len(data)
+	if n <= sortSeqThreshold || Procs() == 1 {
+		sortSeq(data, less)
+		return
+	}
+	mergeSortInto(data, scratch[:n], less, true)
+}
+
+// Merge merges the sorted slices a and b into out by less;
+// len(out) must equal len(a)+len(b) and out must not overlap the
+// inputs. Large merges split recursively (midpoint of the larger run,
+// binary search in the smaller), giving logarithmic span — the ordered-
+// set union of the paper's substrate expressed on flat runs.
+func Merge[T any](a, b, out []T, less func(x, y T) bool) {
+	if len(out) != len(a)+len(b) {
+		panic("parallel: Merge output length != len(a)+len(b)")
+	}
+	mergeInto(a, b, out, less)
 }
 
 // mergeSortInto sorts src; when inPlace is true the result ends up in src

@@ -41,6 +41,14 @@ func TestEngineOverride(t *testing.T) {
 	if snap.Solves != int64(len(engines)) {
 		t.Fatalf("solves = %d, want %d", snap.Solves, len(engines))
 	}
+	// The parallel and rho solves above ran on the ordered-frontier
+	// substrate, so its operation totals must be visible — the
+	// serving-side signal that replaces a bench run for regression
+	// triage. Selects come from the rho solve's rank queries.
+	if snap.Frontier.Pushes == 0 || snap.Frontier.Batches == 0 ||
+		snap.Frontier.Extracted == 0 || snap.Frontier.Selects == 0 {
+		t.Fatalf("frontier substrate counters empty after frontier-engine solves: %+v", snap.Frontier)
+	}
 }
 
 func TestEngineOverrideUnknownRejected(t *testing.T) {

@@ -131,7 +131,7 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine 
 		if err != nil {
 			return nil, err
 		}
-		s.counters.solves.Add(1)
+		s.counters.observeSolve(st)
 		s.bump(&s.solvesByGraph, e.Name)
 		if st.Engine != "" {
 			s.bump(&s.solvesByEngine, st.Engine)

@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	rs "radiusstep"
+)
 
 // counters aggregates server-wide activity. All fields are atomics so
 // handlers update them without locking.
@@ -16,6 +20,43 @@ type counters struct {
 	coalesced    atomic.Int64 // queries that piggybacked on an in-flight solve
 	batchSources atomic.Int64 // sources processed via /v1/batch
 	errors       atomic.Int64 // requests answered with a non-2xx status
+
+	// Ordered-frontier substrate totals across full solves on the
+	// frontier-backed engines (parallel, rho). A substrate regression —
+	// runs multiplying, stale entries piling up (stale/pushes is the
+	// leak ratio), rank queries growing — shows here without a bench
+	// run, per solve counters divided by solvesByEngine.
+	frontierPushes    atomic.Int64
+	frontierBatches   atomic.Int64
+	frontierMerges    atomic.Int64
+	frontierExtracted atomic.Int64
+	frontierStale     atomic.Int64
+	frontierSelects   atomic.Int64
+}
+
+// observeSolve folds one solve's stats into the server-wide counters.
+func (c *counters) observeSolve(st rs.Stats) {
+	c.solves.Add(1)
+	if st.Frontier.Pushes == 0 {
+		return
+	}
+	c.frontierPushes.Add(st.Frontier.Pushes)
+	c.frontierBatches.Add(st.Frontier.Batches)
+	c.frontierMerges.Add(st.Frontier.Merges)
+	c.frontierExtracted.Add(st.Frontier.Extracted)
+	c.frontierStale.Add(st.Frontier.Stale)
+	c.frontierSelects.Add(st.Frontier.Selects)
+}
+
+// FrontierStats is the /v1/stats frontier section: substrate operation
+// totals for the frontier-backed engines.
+type FrontierStats struct {
+	Pushes    int64 `json:"pushes"`
+	Batches   int64 `json:"batches"`
+	Merges    int64 `json:"merges"`
+	Extracted int64 `json:"extracted"`
+	Stale     int64 `json:"stale"`
+	Selects   int64 `json:"selects"`
 }
 
 // GraphLoadStats reports, per graph, how it reached serving state: the
@@ -48,8 +89,11 @@ type StatsSnapshot struct {
 	// SolvesByEngine counts full SSSP solves per engine name
 	// (sequential, parallel, flat, delta, rho) — the observable contract
 	// behind per-request ?engine= overrides.
-	SolvesByEngine map[string]int64          `json:"solvesByEngine"`
-	GraphLoads     map[string]GraphLoadStats `json:"graphLoads"`
+	SolvesByEngine map[string]int64 `json:"solvesByEngine"`
+	// Frontier totals the ordered-frontier substrate's operation
+	// counters over every full solve on the frontier-backed engines.
+	Frontier   FrontierStats             `json:"frontier"`
+	GraphLoads map[string]GraphLoadStats `json:"graphLoads"`
 }
 
 func (c *counters) snapshot() StatsSnapshot {
@@ -66,5 +110,13 @@ func (c *counters) snapshot() StatsSnapshot {
 		Coalesced:    c.coalesced.Load(),
 		BatchSources: c.batchSources.Load(),
 		Errors:       c.errors.Load(),
+		Frontier: FrontierStats{
+			Pushes:    c.frontierPushes.Load(),
+			Batches:   c.frontierBatches.Load(),
+			Merges:    c.frontierMerges.Load(),
+			Extracted: c.frontierExtracted.Load(),
+			Stale:     c.frontierStale.Load(),
+			Selects:   c.frontierSelects.Load(),
+		},
 	}
 }

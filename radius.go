@@ -24,8 +24,14 @@ type Vertex = graph.V
 
 // Stats reports the round structure of one solve: Steps (outer rounds),
 // Substeps (inner Bellman–Ford rounds), counters for scanned edges and
-// successful relaxations.
+// successful relaxations, and — for the engines built on the ordered-
+// frontier substrate — the substrate's operation counters (Frontier).
 type Stats = core.Stats
+
+// FrontierOps counts ordered-frontier substrate operations (staged
+// pushes, sealed batches, run merges, extractions, stale skips, rank
+// queries) for one solve on the parallel or rho engine.
+type FrontierOps = core.FrontierOps
 
 // StepTrace describes one completed radius-stepping step to observers.
 type StepTrace = core.StepTrace

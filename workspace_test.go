@@ -36,6 +36,45 @@ func TestDistancesSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestEngineSteadyStateAllocs extends the allocation gate to the
+// engines rebuilt on the ordered-frontier substrate: with a warmed
+// workspace pool, the parallel (Algorithm 2) and rho engines must also
+// solve in O(1) allocations — the frontier's runs, staging batches and
+// rank-query scratch all live in the pooled workspace arena. Before the
+// substrate landed, the parallel engine allocated one treap node per
+// insert (~500k allocs per 50k-vertex solve). The graph is kept under
+// the parallel primitives' sequential-fallback grain so no goroutines
+// (which allocate) are spawned. CI runs this test by name.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(20, 20), 1, 100, 3)
+	for _, tc := range []struct {
+		engine rs.Engine
+		budget float64
+	}{
+		{rs.EngineParallel, 8},
+		{rs.EngineRho, 8},
+	} {
+		s, err := rs.NewSolver(g, rs.Options{Rho: 8, Engine: tc.engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := s.Distances(rs.Vertex(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, st, err := s.Distances(7); err != nil || st.Engine != tc.engine.String() {
+				t.Fatalf("engine %v: stats %v err %v", tc.engine, st.Engine, err)
+			}
+		})
+		if allocs > tc.budget {
+			t.Fatalf("steady-state %v Distances allocates %v objects per solve, want <= %v",
+				tc.engine, allocs, tc.budget)
+		}
+	}
+}
+
 // TestDistancesWithOverride: every per-query override returns identical
 // distances and reports its engine in the stats.
 func TestDistancesWithOverride(t *testing.T) {
