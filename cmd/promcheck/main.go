@@ -1,0 +1,37 @@
+// Command promcheck validates a Prometheus text exposition read from
+// stdin: it must parse under the 0.0.4 text format and every histogram
+// must satisfy the cumulative-bucket contract (counts monotone in le,
+// le="+Inf" present and equal to _count). Exit status 0 on success,
+// 1 on a malformed exposition — the CI metrics smoke job pipes
+// `curl /metrics` through it.
+//
+// Usage:
+//
+//	curl -s localhost:8517/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"radiusstep/internal/metrics"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(data) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: empty exposition")
+		os.Exit(1)
+	}
+	if err := metrics.Lint(data); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	samples, _ := metrics.Parse(data)
+	fmt.Printf("promcheck: ok (%d samples)\n", len(samples))
+}

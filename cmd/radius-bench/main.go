@@ -8,6 +8,8 @@
 //	radius-bench -exp all -scale tiny
 //	radius-bench -engines all -gen road -n 100000 -trials 9
 //	radius-bench -engines seq,delta,rho -gen web -n 50000
+//	radius-bench -engines all -trace timelines.json
+//	radius-bench -procs 1,2,4,8 -engines seq,par
 //	radius-bench -compare BENCH_5.json
 //	radius-bench -compare latest
 //
@@ -23,11 +25,20 @@
 // BENCH_<n>.json in the working directory, so the gate always runs
 // against the freshest committed baseline.
 //
+// The -procs mode re-runs the engine matrix at each listed GOMAXPROCS
+// value over one shared preprocessed graph and reports per-engine
+// speedup columns (JSON on stdout, aligned table on stderr). The
+// -trace mode appends one traced solve per engine after the matrix and
+// writes the solve timelines (steps, substeps, pool and frontier
+// timings) as JSON to the named file; timelines stay out of the
+// BENCH_* baselines because traced solves pay clock-read overhead.
+//
 // Scales: tiny (seconds), default (minutes), full (closer to the paper's
 // sizes; expect long runtimes — preprocessing is Θ(nρ²)).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +63,8 @@ func main() {
 	compare := flag.String("compare", "", "regression-gate mode: re-run the workloads in this baseline JSON (e.g. BENCH_5.json, or 'latest' for the newest committed BENCH_<n>.json) and exit nonzero on p50 or allocation regressions")
 	threshold := flag.Float64("compare-threshold", 0.25, "compare mode: maximum tolerated p50 regression (0.25 = 25%)")
 	allocThreshold := flag.Float64("compare-alloc-threshold", 2.0, "compare mode: maximum tolerated allocs-per-solve growth factor (2 = doubled; <= 0 disables)")
+	procs := flag.String("procs", "", "scaling mode: comma list of GOMAXPROCS values (e.g. 1,2,4,8); re-runs the engine matrix at each and reports speedup columns (JSON to stdout, table to stderr)")
+	traceOut := flag.String("trace", "", "matrix mode: write one solve timeline per engine as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -77,9 +90,9 @@ func main() {
 		}
 		return
 	}
-	if *engines != "" {
+	if *engines != "" || *procs != "" {
 		var names []string
-		if *engines != "all" {
+		if *engines != "" && *engines != "all" {
 			for _, raw := range strings.Split(*engines, ",") {
 				e, err := rs.ParseEngine(strings.TrimSpace(raw))
 				if err != nil {
@@ -89,13 +102,55 @@ func main() {
 				names = append(names, e.String())
 			}
 		}
-		err := bench.RunEngineMatrix(os.Stdout, bench.EngineMatrixConfig{
+		mcfg := bench.EngineMatrixConfig{
 			Gen: *gen, N: *n, Weights: *weights, Rho: *rho,
 			Seed: *seed, Trials: *trials, Engines: names,
-		})
-		if err != nil {
+		}
+		if *procs != "" {
+			var pvals []int
+			for _, raw := range strings.Split(*procs, ",") {
+				var p int
+				if _, err := fmt.Sscanf(strings.TrimSpace(raw), "%d", &p); err != nil || p < 1 {
+					fmt.Fprintf(os.Stderr, "bad -procs value %q (want a comma list of integers >= 1)\n", raw)
+					os.Exit(2)
+				}
+				pvals = append(pvals, p)
+			}
+			report, err := bench.RunScaling(os.Stdout, bench.ScalingConfig{
+				Gen: *gen, N: *n, Weights: *weights, Rho: *rho,
+				Seed: *seed, Trials: *trials, Engines: names, Procs: pvals,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprint(os.Stderr, bench.FormatScalingTable(report))
+			return
+		}
+		if err := bench.RunEngineMatrix(os.Stdout, mcfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *traceOut != "" {
+			timelines, err := bench.MeasureEngineTimelines(mcfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			werr := enc.Encode(timelines)
+			cerr := f.Close()
+			if werr != nil || cerr != nil {
+				fmt.Fprintf(os.Stderr, "trace: write %s: %v%v\n", *traceOut, werr, cerr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "# %d engine timelines written to %s\n", len(timelines), *traceOut)
 		}
 		return
 	}

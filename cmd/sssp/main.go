@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -21,6 +22,21 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(2)
+}
+
+// writeTimeline dumps one solve timeline as indented JSON; "-" writes
+// to stdout.
+func writeTimeline(path string, tl *rs.Timeline) error {
+	out, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func buildGraph(kind string, n int, seed uint64) *rs.Graph {
@@ -45,6 +61,7 @@ func main() {
 	engine := flag.String("engine", "auto", "stepping engine: auto|seq|par|flat|delta|rho")
 	delta := flag.Float64("delta", 1000, "delta-stepping bucket width (-algo delta, or -engine delta when set explicitly)")
 	verify := flag.Bool("verify", false, "verify the result certificate")
+	traceOut := flag.String("trace", "", "write the solve timeline (steps, substeps, pool and frontier timings) as JSON to this file (-algo radius only; - for stdout)")
 	flag.Parse()
 
 	var g *rs.Graph
@@ -98,9 +115,24 @@ func main() {
 		fmt.Printf("preprocess: %v (added %d shortcuts, visited %d, scanned %d)\n",
 			time.Since(t0).Round(time.Microsecond), pre.Added, pre.Visited, pre.EdgesScanned)
 		t1 := time.Now()
-		d, st, err := solver.Distances(source)
-		if err != nil {
-			fail("solve: %v", err)
+		var d []float64
+		var st rs.Stats
+		if *traceOut != "" {
+			var tl *rs.Timeline
+			d, st, tl, err = solver.DistancesTraced(source, rs.EngineAuto)
+			if err != nil {
+				fail("solve: %v", err)
+			}
+			if werr := writeTimeline(*traceOut, tl); werr != nil {
+				fail("trace: %v", werr)
+			}
+			fmt.Printf("trace: engine=%s steps=%d substeps=%d written to %s\n",
+				tl.Engine, len(tl.StepList), len(tl.SubstepList), *traceOut)
+		} else {
+			d, st, err = solver.Distances(source)
+			if err != nil {
+				fail("solve: %v", err)
+			}
 		}
 		fmt.Printf("radius-stepping: %v  %s\n", time.Since(t1).Round(time.Microsecond), st)
 		dist = d

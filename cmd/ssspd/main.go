@@ -16,6 +16,13 @@
 // on /v1/distances, /v1/route and /v1/batch; /v1/stats reports solve
 // counts per engine.
 //
+// Observability: GET /metrics serves Prometheus text (per-engine solve
+// latency histograms, per-endpoint request/error counters, cache, pool
+// and Go runtime health); ?trace=1 on /v1/distances returns the solve's
+// step/substep timeline inline in the JSON response; -pprof ADDR serves
+// net/http/pprof on a separate mux; -log-requests emits structured
+// per-request and per-solve logs via log/slog.
+//
 // Examples:
 //
 //	ssspd -graph road=gen=road,n=200000,weights=10000,rho=64 -listen :8517
@@ -44,7 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -82,6 +91,8 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run an in-process load smoke test and exit")
 	selftestQueries := flag.Int("selftest-queries", 2000, "queries fired by -selftest")
 	selftestClients := flag.Int("selftest-clients", 16, "concurrent clients used by -selftest")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	logRequests := flag.Bool("log-requests", false, "emit a structured log line per request and per solve")
 	flag.Parse()
 
 	// Explicit flags beat the config file; flag.Visit distinguishes a
@@ -146,9 +157,14 @@ func main() {
 			entry.Info.Source, time.Since(t0).Round(time.Millisecond))
 	}
 
+	var reqLogger *slog.Logger
+	if *logRequests {
+		reqLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := server.New(reg, server.Config{
 		Workers:    *workers,
 		CacheBytes: *cacheMB << 20,
+		Logger:     reqLogger,
 	})
 
 	if *selftest {
@@ -164,6 +180,24 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	// pprof lives on its own mux and (usually loopback) address, never
+	// the query listener: profiling endpoints expose heap contents and
+	// must not ride on a port that may be reachable by clients.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,224 @@
+package bench
+
+// This file implements the -procs scaling mode: the engine matrix
+// re-run at several GOMAXPROCS settings over one preprocessed graph,
+// reporting per-engine speedup columns. It exists to answer the
+// roadmap's standing question — does the parallel machinery actually
+// win as cores are added, and where does it stop winning — with one
+// command instead of N manually-varied runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	rs "radiusstep"
+)
+
+// ScalingConfig describes one scaling run: the engine-matrix workload
+// plus the GOMAXPROCS values to sweep.
+type ScalingConfig struct {
+	Gen     string
+	N       int
+	Weights int
+	Rho     int
+	Seed    uint64
+	Trials  int
+	Engines []string // empty means all five
+	Procs   []int    // GOMAXPROCS values, e.g. 1,2,4,8
+}
+
+// ScalingCell is one (engine, procs) measurement. Speedup is relative
+// to the same engine at the sweep's first procs value, so with the
+// conventional 1,2,4,... sweep it reads directly as parallel speedup.
+type ScalingCell struct {
+	Procs     int     `json:"procs"`
+	P50Micros float64 `json:"p50Micros"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// ScalingRow is one engine's sweep across the procs values.
+type ScalingRow struct {
+	Engine string        `json:"engine"`
+	Cells  []ScalingCell `json:"cells"`
+}
+
+// ScalingReport is the JSON envelope emitted by RunScaling.
+type ScalingReport struct {
+	Graph    string       `json:"graph"`
+	N        int          `json:"n"`
+	Seed     uint64       `json:"seed"`
+	Weights  int          `json:"weights"`
+	Vertices int          `json:"vertices"`
+	Edges    int          `json:"edges"`
+	Rho      int          `json:"rho"`
+	Trials   int          `json:"trials"`
+	Procs    []int        `json:"procs"`
+	Rows     []ScalingRow `json:"rows"`
+}
+
+// MeasureScaling builds one preprocessed solver and times every
+// requested engine at every requested GOMAXPROCS value. The solver (and
+// its warmed workspace pool) is shared across the sweep so the cells
+// differ only in available parallelism, not in cache state. GOMAXPROCS
+// is restored before returning.
+func MeasureScaling(cfg ScalingConfig) (*ScalingReport, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 9
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = 32
+	}
+	if len(cfg.Procs) == 0 {
+		return nil, fmt.Errorf("bench: scaling mode needs at least one procs value")
+	}
+	for _, p := range cfg.Procs {
+		if p < 1 {
+			return nil, fmt.Errorf("bench: procs value %d < 1", p)
+		}
+	}
+	engines := cfg.Engines
+	if len(engines) == 0 {
+		engines = AllEngineNames()
+	}
+	g, err := rs.GenerateByName(cfg.Gen, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Weights > 0 {
+		g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+	}
+	solver, err := rs.NewSolver(g, rs.Options{Rho: cfg.Rho})
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+
+	report := &ScalingReport{
+		Graph:    cfg.Gen,
+		N:        cfg.N,
+		Seed:     cfg.Seed,
+		Weights:  cfg.Weights,
+		Vertices: n,
+		Edges:    g.NumEdges(),
+		Rho:      cfg.Rho,
+		Trials:   cfg.Trials,
+		Procs:    cfg.Procs,
+	}
+	for _, name := range engines {
+		report.Rows = append(report.Rows, ScalingRow{Engine: name})
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range cfg.Procs {
+		runtime.GOMAXPROCS(procs)
+		for ri, name := range engines {
+			eng, err := rs.ParseEngine(name)
+			if err != nil {
+				return nil, err
+			}
+			// Warm the workspace pool (and, at higher procs, the worker
+			// pool) outside the timed loop.
+			if _, _, err = solver.DistancesWith(0, eng); err != nil {
+				return nil, fmt.Errorf("engine %s at procs=%d: %v", name, procs, err)
+			}
+			durs := make([]float64, cfg.Trials)
+			for i := 0; i < cfg.Trials; i++ {
+				src := rs.Vertex((i * 7919) % n)
+				t0 := time.Now()
+				if _, _, err := solver.DistancesWith(src, eng); err != nil {
+					return nil, fmt.Errorf("engine %s at procs=%d: %v", name, procs, err)
+				}
+				durs[i] = float64(time.Since(t0).Microseconds())
+			}
+			sort.Float64s(durs)
+			p50 := durs[len(durs)/2]
+			cell := ScalingCell{Procs: procs, P50Micros: p50}
+			row := &report.Rows[ri]
+			if len(row.Cells) > 0 && p50 > 0 {
+				cell.Speedup = row.Cells[0].P50Micros / p50
+			} else if p50 > 0 {
+				cell.Speedup = 1
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+	}
+	return report, nil
+}
+
+// RunScaling measures and writes the report as JSON.
+func RunScaling(w io.Writer, cfg ScalingConfig) (*ScalingReport, error) {
+	report, err := MeasureScaling(cfg)
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// FormatScalingTable renders the report as an aligned text table: one
+// row per engine, a p50 and speedup column per procs value.
+func FormatScalingTable(r *ScalingReport) string {
+	out := fmt.Sprintf("scaling %s (n=%d, m=%d, rho=%d, trials=%d)\n",
+		r.Graph, r.Vertices, r.Edges, r.Rho, r.Trials)
+	out += fmt.Sprintf("%-12s", "engine")
+	for _, p := range r.Procs {
+		out += fmt.Sprintf(" %9s %8s", fmt.Sprintf("p%d (µs)", p), "speedup")
+	}
+	out += "\n"
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-12s", row.Engine)
+		for _, c := range row.Cells {
+			out += fmt.Sprintf(" %9.0f %7.2fx", c.P50Micros, c.Speedup)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// MeasureEngineTimelines runs one traced solve per engine on the
+// workload and returns the timelines, keyed in engine order — the
+// radius-bench -trace mode. Timelines go to their own file, never into
+// the BENCH_* baselines: traced solves pay clock-read overhead and
+// would skew latency trajectories.
+func MeasureEngineTimelines(cfg EngineMatrixConfig) ([]rs.Timeline, error) {
+	if cfg.Rho == 0 {
+		cfg.Rho = 32
+	}
+	engines := cfg.Engines
+	if len(engines) == 0 {
+		engines = AllEngineNames()
+	}
+	g, err := rs.GenerateByName(cfg.Gen, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Weights > 0 {
+		g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+	}
+	solver, err := rs.NewSolver(g, rs.Options{Rho: cfg.Rho})
+	if err != nil {
+		return nil, err
+	}
+	timelines := make([]rs.Timeline, 0, len(engines))
+	for _, name := range engines {
+		eng, err := rs.ParseEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		_, _, tl, err := solver.DistancesTraced(0, eng)
+		if err != nil {
+			return nil, fmt.Errorf("engine %s: %v", name, err)
+		}
+		timelines = append(timelines, *tl)
+	}
+	return timelines, nil
+}

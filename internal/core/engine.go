@@ -78,6 +78,10 @@ func (p *frontierStepper) settle(v graph.V) {
 // final key, instead of once per substep.
 func (p *frontierStepper) commit() {}
 
+func (p *frontierStepper) fringe() int { return p.q.Len() }
+
+func (p *frontierStepper) setTiming(on bool) { p.q.SetTiming(on) }
+
 func (p *frontierStepper) frontierOps() frontier.Ops {
 	return p.q.Ops()
 }

@@ -115,6 +115,10 @@ func (f *flatStepper) settle(graph.V) {}
 
 func (f *flatStepper) commit() {}
 
+// fringe reports the fringe array length — an overcount when stale
+// (settled) entries remain; trace annotation only.
+func (f *flatStepper) fringe() int { return len(f.pending) }
+
 // SolveFlat computes shortest-path distances from src with the frontier
 // ("flat") Radius-Stepping engine of §3.4: instead of ordered sets it
 // keeps the fringe in a plain array, picks each round distance with a

@@ -117,6 +117,10 @@ func (h *heapStepper) settle(graph.V) {}
 
 func (h *heapStepper) commit() {}
 
+// fringe reports the Q heap length — an overcount when lazy-deleted
+// entries remain; trace annotation only.
+func (h *heapStepper) fringe() int { return len(h.q) }
+
 // SolveRef computes shortest-path distances from src with the reference
 // (sequential) Radius-Stepping. It returns +Inf for unreachable vertices.
 func SolveRef(g *graph.CSR, radii []float64, src graph.V) ([]float64, Stats, error) {

@@ -60,4 +60,8 @@ func (s *rhoStepper) settle(v graph.V) { s.f.Drop(v) }
 // substep batches into one sort (see frontierStepper.commit).
 func (s *rhoStepper) commit() {}
 
+func (s *rhoStepper) fringe() int { return s.f.Len() }
+
+func (s *rhoStepper) setTiming(on bool) { s.f.SetTiming(on) }
+
 func (s *rhoStepper) frontierOps() frontier.Ops { return s.f.Ops() }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"radiusstep/internal/graph"
 	"radiusstep/internal/parallel"
+	"radiusstep/internal/trace"
 )
 
 // EngineKind identifies one engine of the unified stepping framework: a
@@ -71,6 +73,29 @@ type Params struct {
 	// force knobs exist for benchmarking and the cross-mode property
 	// tests).
 	Relax RelaxMode
+	// Recorder, when non-nil, receives a per-step/per-substep timeline
+	// of the solve (see internal/trace). nil — the default and the hot
+	// path — adds a single pointer comparison per instrumentation site
+	// and zero allocations; the CI alloc gates depend on that.
+	Recorder *trace.Recorder
+}
+
+// NewTraceRecorder returns a solve-trace recorder wired to the worker
+// pool's process-global counters, ready to pass as Params.Recorder.
+func NewTraceRecorder() *trace.Recorder {
+	return trace.NewRecorder(func() trace.PoolDelta {
+		pc := parallel.ReadPoolCounters()
+		return trace.PoolDelta{
+			Forks:          pc.Forks,
+			Dispatched:     pc.Dispatched,
+			Inline:         pc.Inline,
+			WorkersCreated: pc.Created,
+			Parks:          pc.Parks,
+			WakeNanos:      pc.WakeNanos,
+			BarrierNanos:   pc.BarrierNanos,
+			Claims:         pc.Claims,
+		}
+	})
 }
 
 // defaultRhoQuota mirrors the default preprocessing ball size: steps
@@ -125,6 +150,18 @@ type stepper interface {
 	// commit flushes buffered fringe updates at the end of a substep
 	// (bulk-update structures batch their push/settle work).
 	commit()
+	// fringe reports the fringe population for the step trace. May
+	// overcount structures that keep stale entries (the lazy heaps and
+	// the flat array); exactness is not required — the value only
+	// annotates trace records.
+	fringe() int
+}
+
+// timedStepper is implemented by steppers whose fringe structure can
+// stamp phase timings (the frontier-backed ones); the driver switches
+// timing on exactly when a trace recorder is attached.
+type timedStepper interface {
+	setTiming(on bool)
 }
 
 // stepperFor returns the workspace's cached stepper for kind, creating
@@ -200,7 +237,7 @@ func SolveKindTarget(g *graph.CSR, radii []float64, src, target graph.V, kind En
 // until no relaxation lands at or below d_i; improvements beyond d_i go
 // back to the stepper's fringe. When stopAt >= 0 the solve ends as soon
 // as that vertex is settled.
-func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params, ws *Workspace, trace func(StepTrace), stopAt graph.V) ([]float64, Stats, error) {
+func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params, ws *Workspace, observe func(StepTrace), stopAt graph.V) ([]float64, Stats, error) {
 	if kind < KindSequential || kind > KindRho {
 		return nil, Stats{}, fmt.Errorf("core: unknown engine kind %d", int(kind))
 	}
@@ -220,6 +257,18 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	ws.prepare(g, radii)
 	sp := ws.stepperFor(kind, p)
 	sp.reset()
+
+	// Solve tracing: rec == nil (the hot path) keeps every site below a
+	// pointer comparison. Fringe timing is (re)set on every solve so a
+	// pooled workspace that served a traced solve does not keep paying
+	// for clock reads afterwards.
+	rec := p.Recorder
+	if ts, ok := sp.(timedStepper); ok {
+		ts.setTiming(rec != nil)
+	}
+	if rec != nil {
+		rec.Begin(kind.String(), int64(src))
+	}
 
 	var st Stats
 	st.Engine = kind.String()
@@ -258,7 +307,16 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	next := ws.next[:0]
 	stepNo := 0
 
+	// Traced solves stamp phase boundaries with the wall clock; the
+	// zero-value times are never read when rec is nil.
+	var stepStart, phaseStart time.Time
+	var srec trace.StepRecord
 	for {
+		if rec != nil {
+			stepStart = rec.Now()
+			phaseStart = stepStart
+			srec = trace.StepRecord{FringeLen: sp.fringe()}
+		}
 		di, lead, ok := sp.target()
 		if !ok {
 			break
@@ -266,11 +324,18 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 		step := ws.nextStep()
 		stepNo++
 		st.Steps++
+		if rec != nil {
+			srec.TargetNanos = time.Since(phaseStart).Nanoseconds()
+			phaseStart = rec.Now()
+		}
 
 		// Extract A = {v : δ(v) <= d_i} from the fringe.
 		active = sp.collect(di, active[:0])
 		for _, v := range active {
 			ws.act[v] = step
+		}
+		if rec != nil {
+			srec.CollectNanos = time.Since(phaseStart).Nanoseconds()
 		}
 
 		// Bellman–Ford substeps: relax from changed vertices only; a
@@ -282,7 +347,30 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 		for len(frontier) > 0 {
 			substeps++
 			ws.nextSubID()
+			var scanned0, relaxed0 int64
+			var push0 int
+			if rec != nil {
+				scanned0, relaxed0, push0 = st.EdgesScanned, st.Relaxations, st.PushSubsteps
+				phaseStart = rec.Now()
+			}
 			updated := ws.relax(frontier, &st, seq, p.Relax)
+			if rec != nil {
+				dur := time.Since(phaseStart).Nanoseconds()
+				mode := "pull"
+				if st.PushSubsteps > push0 {
+					mode = "push"
+				}
+				srec.RelaxNanos += dur
+				rec.Substep(trace.SubstepRecord{
+					Step:        stepNo,
+					Substep:     substeps,
+					Mode:        mode,
+					FrontierLen: len(frontier),
+					ArcsScanned: st.EdgesScanned - scanned0,
+					Relaxed:     st.Relaxations - relaxed0,
+					Nanos:       dur,
+				})
+			}
 			next = next[:0]
 			for _, v := range updated {
 				nd := parallel.FromBits(ws.bits[v])
@@ -312,8 +400,17 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 			ws.done[v] = true
 			ws.settled(v)
 		}
-		if trace != nil {
-			trace(StepTrace{Step: stepNo, Di: di, Lead: lead, Settled: len(active), Substeps: substeps})
+		if rec != nil {
+			srec.Step = stepNo
+			srec.Di = di
+			srec.Lead = int64(lead)
+			srec.Settled = len(active)
+			srec.Substeps = substeps
+			srec.Nanos = time.Since(stepStart).Nanoseconds()
+			rec.Step(srec)
+		}
+		if observe != nil {
+			observe(StepTrace{Step: stepNo, Di: di, Lead: lead, Settled: len(active), Substeps: substeps})
 		}
 		if stopAt >= 0 && ws.done[stopAt] {
 			break
@@ -322,6 +419,13 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	ws.active, ws.frontier, ws.next = active[:0], frontier[:0], next[:0]
 	if fb, ok := sp.(frontierBacked); ok {
 		st.Frontier = fb.frontierOps()
+	}
+	if rec != nil {
+		rec.End(st.Steps, st.Substeps, st.Relaxations, trace.FrontierPhases{
+			FilterNanos: st.Frontier.FilterNanos,
+			SortNanos:   st.Frontier.SortNanos,
+			MergeNanos:  st.Frontier.MergeNanos,
+		})
 	}
 	return parallel.BitsToFloats(ws.bits), st, nil
 }

@@ -39,6 +39,7 @@ package frontier
 
 import (
 	"math"
+	"time"
 
 	"radiusstep/internal/parallel"
 )
@@ -78,6 +79,15 @@ type Ops struct {
 	Stale int64 `json:"stale"`
 	// Selects counts rank queries served by SelectKth.
 	Selects int64 `json:"selects"`
+
+	// Phase timings, populated only when SetTiming(true) was called
+	// (the solve-trace recorder enables it; untraced solves never read
+	// the clock here). FilterNanos times Commit's stale-entry filter
+	// pass, SortNanos the batch sort sealing a run, and MergeNanos the
+	// size-tier run merges (including their compaction sweeps).
+	FilterNanos int64 `json:"filterNanos,omitempty"`
+	SortNanos   int64 `json:"sortNanos,omitempty"`
+	MergeNanos  int64 `json:"mergeNanos,omitempty"`
 }
 
 // run is one distance-sorted slice of entries; start indexes the first
@@ -123,7 +133,8 @@ type F struct {
 	keys   []float64 // rank-query gather buffer
 	counts []int64   // rank-query per-block offsets
 
-	ops Ops
+	ops   Ops
+	timed bool // record phase timings into ops (solve tracing only)
 }
 
 // New returns an empty frontier. Call Reset before use.
@@ -155,6 +166,28 @@ func (f *F) Len() int { return f.liveN }
 
 // Ops returns the operation counters accumulated since Reset.
 func (f *F) Ops() Ops { return f.ops }
+
+// SetTiming enables (or disables) phase timing: when on, Commit and the
+// run merges stamp wall-clock boundaries into Ops' FilterNanos/
+// SortNanos/MergeNanos. Off by default so untraced solves never read
+// the clock on the commit path. Persists across Reset.
+func (f *F) SetTiming(on bool) { f.timed = on }
+
+// now reads the wall clock when timing is enabled; otherwise it returns
+// the zero time and the paired elapsed() is never consulted.
+func (f *F) now() time.Time {
+	if !f.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// addElapsed accumulates time since t0 into *dst when timing is on.
+func (f *F) addElapsed(dst *int64, t0 time.Time) {
+	if f.timed {
+		*dst += time.Since(t0).Nanoseconds()
+	}
+}
 
 // Contains reports whether v is live in the frontier.
 func (f *F) Contains(v int32) bool { return f.mark[v] == f.stamp }
@@ -216,6 +249,7 @@ func (f *F) Commit() {
 	// staging) before paying for the sort: with commits deferred across
 	// a step's substeps, a vertex improved k times stages k entries but
 	// only the last is live.
+	t0 := f.now()
 	w := 0
 	for _, e := range f.stage {
 		if f.live(e) {
@@ -225,13 +259,16 @@ func (f *F) Commit() {
 			f.ops.Stale++
 		}
 	}
+	f.addElapsed(&f.ops.FilterNanos, t0)
 	ents := f.stage[:w]
 	f.stage = f.takeBuf(cap(f.stage))[:0]
 	if len(ents) == 0 {
 		f.retire(ents)
 		return
 	}
+	t1 := f.now()
 	f.sortEntries(ents)
+	f.addElapsed(&f.ops.SortNanos, t1)
 	f.runs = append(f.runs, run{ents: ents})
 	f.ops.Batches++
 	for len(f.runs) >= 2 && f.runs[len(f.runs)-2].size() < 2*f.runs[len(f.runs)-1].size() {
@@ -263,6 +300,8 @@ func (f *F) sortEntries(ents []Entry) {
 // entries (compaction) before the merge so the arena never accretes dead
 // weight.
 func (f *F) mergeTopTwo() {
+	t0 := f.now()
+	defer f.addElapsed(&f.ops.MergeNanos, t0)
 	k := len(f.runs)
 	a, b := &f.runs[k-2], &f.runs[k-1]
 	f.compact(a)

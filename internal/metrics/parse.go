@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Parse reads the Prometheus text exposition format (the subset this
+// package writes: HELP/TYPE comments and simple samples, no timestamps)
+// and returns the samples in order. It is the validation half of the
+// package — CI smoke tests pipe /metrics output through it — so it
+// checks structure strictly: names must be valid, TYPE lines must
+// precede their samples, values must parse.
+func Parse(data []byte) ([]Sample, error) {
+	var samples []Sample
+	typed := make(map[string]string) // family name -> TYPE
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			fields := strings.Fields(rest)
+			if len(fields) >= 2 && (fields[0] == "HELP" || fields[0] == "TYPE") {
+				name := fields[1]
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				if fields[0] == "TYPE" {
+					if len(fields) != 3 {
+						return nil, fmt.Errorf("line %d: TYPE wants one type token", lineNo)
+					}
+					switch fields[2] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[2])
+					}
+					if _, dup := typed[name]; dup {
+						return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					}
+					typed[name] = fields[2]
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, ok := typed[familyOf(s.Name, typed)]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// familyOf maps a sample name back to its family: histogram samples use
+// the _bucket/_sum/_count suffixes of the declared family name.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if typed[base] == "histogram" || typed[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	// Timestamps (a second field) are not produced by this package.
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("unexpected extra fields in %q", line)
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(block string, out map[string]string) error {
+	i := 0
+	for i < len(block) {
+		// name="value" — value may contain escaped quotes.
+		eq := strings.Index(block[i:], "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label block %q", block)
+		}
+		name := strings.TrimSpace(block[i : i+eq])
+		if !validName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			return fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(block) {
+				return fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := block[i]
+			if c == '\\' {
+				if i+1 >= len(block) {
+					return fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch block[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return fmt.Errorf("label %s: bad escape \\%c", name, block[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = b.String()
+		if i < len(block) {
+			if block[i] != ',' {
+				return fmt.Errorf("expected ',' after label %s", name)
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// Lint parses the exposition and additionally checks the histogram
+// contract on every histogram family: cumulative buckets must be
+// non-decreasing in le, the +Inf bucket must be present, and its count
+// must equal the family's _count sample for the same label set.
+func Lint(data []byte) error {
+	samples, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	type key struct{ family, labels string }
+	buckets := make(map[key][]Sample) // histogram buckets per label set
+	counts := make(map[key]float64)
+	for _, s := range samples {
+		if base, ok := strings.CutSuffix(s.Name, "_bucket"); ok {
+			k := key{base, labelsKeySansLe(s.Labels)}
+			buckets[k] = append(buckets[k], s)
+		}
+		if base, ok := strings.CutSuffix(s.Name, "_count"); ok {
+			counts[key{base, labelsKeySansLe(s.Labels)}] = s.Value
+		}
+	}
+	for k, bs := range buckets {
+		sort.SliceStable(bs, func(i, j int) bool {
+			return leOf(bs[i]) < leOf(bs[j])
+		})
+		prev := math.Inf(-1)
+		prevCount := -1.0
+		sawInf := false
+		for _, b := range bs {
+			le := leOf(b)
+			if math.IsNaN(le) {
+				return fmt.Errorf("histogram %s{%s}: bucket without le label", k.family, k.labels)
+			}
+			if le == prev {
+				return fmt.Errorf("histogram %s{%s}: duplicate le=%v", k.family, k.labels, le)
+			}
+			if b.Value < prevCount {
+				return fmt.Errorf("histogram %s{%s}: bucket counts not monotone at le=%v (%v < %v)",
+					k.family, k.labels, le, b.Value, prevCount)
+			}
+			prev, prevCount = le, b.Value
+			if math.IsInf(le, 1) {
+				sawInf = true
+				if c, ok := counts[k]; ok && c != b.Value {
+					return fmt.Errorf("histogram %s{%s}: le=+Inf bucket %v != _count %v",
+						k.family, k.labels, b.Value, c)
+				}
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("histogram %s{%s}: missing le=+Inf bucket", k.family, k.labels)
+		}
+	}
+	return nil
+}
+
+func leOf(s Sample) float64 {
+	le, ok := s.Labels["le"]
+	if !ok {
+		return math.NaN()
+	}
+	v, err := parseValue(le)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// labelsKeySansLe serializes a label set minus le, so a histogram's
+// buckets group with its _sum/_count.
+func labelsKeySansLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}

@@ -28,6 +28,17 @@ type Backend interface {
 	Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error)
 }
 
+// TracingBackend is the optional extension a Backend implements to
+// answer ?trace=1 queries with a solve timeline. It is a separate
+// interface (not a Backend method) so existing Backend fakes and
+// third-party implementations keep compiling; a backend without it
+// simply rejects trace requests.
+type TracingBackend interface {
+	// DistancesTraced runs a full SSSP solve from src and returns the
+	// solve timeline alongside the distances.
+	DistancesTraced(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, *rs.Timeline, error)
+}
+
 // RadiiSource values: where a graph's radii came from at load time. The
 // snapshot value is the observable contract that the registry skipped
 // preprocessing and reused persisted radii.
@@ -139,6 +150,10 @@ func (b *solverBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, r
 	return b.solver.DistancesWith(src, engine)
 }
 
+func (b *solverBackend) DistancesTraced(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, *rs.Timeline, error) {
+	return b.solver.DistancesTraced(src, engine)
+}
+
 func (b *solverBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error) {
 	return b.solver.PathWith(src, dst, engine)
 }
@@ -180,6 +195,24 @@ func (b *remapBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, rs
 		return nil, st, err
 	}
 	return rs.UnpermuteFloats(d, b.perm), st, nil
+}
+
+// DistancesTraced passes tracing through the relabeling layer when the
+// inner backend supports it: the timeline describes the solve on stored
+// ids (step structure is id-agnostic), the distances are mapped back.
+func (b *remapBackend) DistancesTraced(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, *rs.Timeline, error) {
+	tb, ok := b.inner.(TracingBackend)
+	if !ok {
+		return nil, rs.Stats{}, nil, fmt.Errorf("server: backend does not support tracing")
+	}
+	if err := b.checkVertex(src); err != nil {
+		return nil, rs.Stats{}, nil, err
+	}
+	d, st, tl, err := tb.DistancesTraced(b.perm[src], engine)
+	if err != nil {
+		return nil, st, nil, err
+	}
+	return rs.UnpermuteFloats(d, b.perm), st, tl, nil
 }
 
 func (b *remapBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error) {

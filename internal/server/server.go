@@ -27,12 +27,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	rs "radiusstep"
@@ -44,6 +44,10 @@ type Config struct {
 	Workers int
 	// CacheBytes is the distance-cache budget; <= 0 disables caching.
 	CacheBytes int64
+	// Logger, when non-nil, receives structured request logs (one line
+	// per request with endpoint, status and latency) and per-solve logs
+	// (engine, step counts, duration).
+	Logger *slog.Logger
 }
 
 // Server serves shortest-path queries over a Registry. Create with New,
@@ -53,14 +57,10 @@ type Server struct {
 	cache    *distCache
 	flight   *flightGroup
 	pool     *solvePool
-	counters counters
+	metrics  *serverMetrics
+	logger   *slog.Logger
 	start    time.Time
-
-	solvesByGraph  sync.Map // graph name -> *counterCell
-	solvesByEngine sync.Map // engine name -> *counterCell
 }
-
-type counterCell struct{ v atomic.Int64 }
 
 // New builds a server over reg.
 func New(reg *Registry, cfg Config) *Server {
@@ -68,28 +68,90 @@ func New(reg *Registry, cfg Config) *Server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	s := &Server{
 		registry: reg,
 		cache:    newDistCache(cfg.CacheBytes),
 		flight:   newFlightGroup(),
 		pool:     newSolvePool(workers),
+		logger:   cfg.Logger,
 		start:    time.Now(),
 	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
 // Registry exposes the graph registry (for daemon startup logging).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Handler returns the route table as an http.Handler.
+// Handler returns the route table as an http.Handler. Every route is
+// wrapped in the instrumentation middleware (request counter, latency
+// histogram, error-by-status-class counter, optional request log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/distances", s.handleDistances)
-	mux.HandleFunc("POST /v1/route", s.handleRoute)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/graphs", s.instrument("/v1/graphs", s.handleGraphs))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("POST /v1/distances", s.instrument("/v1/distances", s.handleDistances))
+	mux.HandleFunc("POST /v1/route", s.instrument("/v1/route", s.handleRoute))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	return mux
+}
+
+// statusWriter captures the response status for the middleware; Write
+// without an explicit WriteHeader means 200, matching net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets an HTTP status into the error-class label ("4xx",
+// "5xx", or "" for success).
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	}
+	return ""
+}
+
+// instrument wraps a handler with per-endpoint metrics: a request
+// counter, a latency histogram, and error counters split by status
+// class. The child handles are captured once here, so the per-request
+// cost is three atomic ops and a clock read.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.metrics.requests.With(endpoint)
+	dur := s.metrics.reqDur.With(endpoint)
+	e4 := s.metrics.httpErrors.With(endpoint, "4xx")
+	e5 := s.metrics.httpErrors.With(endpoint, "5xx")
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		elapsed := time.Since(t0)
+		dur.Observe(elapsed.Seconds())
+		switch statusClass(sw.status) {
+		case "5xx":
+			e5.Inc()
+		case "4xx":
+			e4.Inc()
+		}
+		if s.logger != nil {
+			s.logger.Info("request",
+				"endpoint", endpoint,
+				"method", r.Method,
+				"status", sw.status,
+				"durMicros", elapsed.Microseconds())
+		}
+	}
 }
 
 // --- core query path ------------------------------------------------------
@@ -127,27 +189,37 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine 
 			return nil, err
 		}
 		defer s.pool.release()
+		t0 := time.Now()
 		d, st, err := e.Backend.Distances(src, engine)
 		if err != nil {
 			return nil, err
 		}
-		s.counters.observeSolve(st)
-		s.bump(&s.solvesByGraph, e.Name)
-		if st.Engine != "" {
-			s.bump(&s.solvesByEngine, st.Engine)
-		}
+		dur := time.Since(t0)
+		s.metrics.observeSolve(e.Name, st, dur)
+		s.logSolve(e.Name, src, st, dur)
 		s.cache.Add(key, d)
 		return d, nil
 	})
 	if joined {
-		s.counters.coalesced.Add(1)
+		s.metrics.coalesced.Inc()
 	}
 	return d, false, err
 }
 
-func (s *Server) bump(m *sync.Map, key string) {
-	cell, _ := m.LoadOrStore(key, &counterCell{})
-	cell.(*counterCell).v.Add(1)
+// logSolve emits one structured log line per executed solve (cache hits
+// and coalesced joins are request-level events, not solves).
+func (s *Server) logSolve(graph string, src rs.Vertex, st rs.Stats, dur time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.Info("solve",
+		"graph", graph,
+		"source", int64(src),
+		"engine", st.Engine,
+		"steps", st.Steps,
+		"substeps", st.Substeps,
+		"relaxations", st.Relaxations,
+		"durMicros", dur.Microseconds())
 }
 
 // --- request/response types ----------------------------------------------
@@ -173,7 +245,9 @@ type distancesResponse struct {
 	Distances []float64        `json:"distances,omitempty"`
 	Nearest   []vertexDistance `json:"nearest,omitempty"`
 	Targets   []vertexDistance `json:"targets,omitempty"`
-	Error     string           `json:"error,omitempty"`
+	// Trace is the solve timeline, present only for ?trace=1 requests.
+	Trace *rs.Timeline `json:"trace,omitempty"`
+	Error string       `json:"error,omitempty"`
 }
 
 type routeRequest struct {
@@ -214,7 +288,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
-	s.counters.reqGraphs.Add(1)
 	entries := s.registry.List()
 	infos := make([]GraphInfo, len(entries))
 	for i, e := range entries {
@@ -224,45 +297,12 @@ func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.counters.reqStats.Add(1)
 	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
-// statsSnapshot assembles the full stats body — counters plus cache,
-// pool, flight, per-graph solve, and load sections — for /v1/stats and
-// the selftest report alike.
-func (s *Server) statsSnapshot() StatsSnapshot {
-	snap := s.counters.snapshot()
-	snap.Cache = s.cache.Stats()
-	snap.Pool = s.pool.Stats()
-	snap.Flight = s.flight.Stats()
-	snap.SolvesByGraph = make(map[string]int64)
-	s.solvesByGraph.Range(func(k, v any) bool {
-		snap.SolvesByGraph[k.(string)] = v.(*counterCell).v.Load()
-		return true
-	})
-	snap.SolvesByEngine = make(map[string]int64)
-	s.solvesByEngine.Range(func(k, v any) bool {
-		snap.SolvesByEngine[k.(string)] = v.(*counterCell).v.Load()
-		return true
-	})
-	snap.GraphLoads = make(map[string]GraphLoadStats)
-	for _, e := range s.registry.List() {
-		snap.GraphLoads[e.Name] = GraphLoadStats{
-			Source:          e.Info.Source,
-			Format:          e.Info.Format,
-			RadiiSource:     e.Info.RadiiSource,
-			SnapshotBytes:   e.Info.SnapshotBytes,
-			ColdStartMillis: e.Info.ColdStartMillis,
-		}
-	}
-	return snap
-}
-
 func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
-	s.counters.reqDistances.Add(1)
 	var req distancesRequest
-	if !decodeBody(w, r, &req, &s.counters) {
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	eng, err := engineParam(r)
@@ -277,8 +317,53 @@ func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
 	if !s.checkTargets(w, e, req.Targets) {
 		return
 	}
+	if traceParam(r) {
+		resp, status := s.answerTraced(r.Context(), e, src, req.TopK, req.Targets, eng)
+		writeJSON(w, status, resp)
+		return
+	}
 	resp, status := s.answerSource(r.Context(), e, src, req.TopK, req.Targets, eng)
 	writeJSON(w, status, resp)
+}
+
+// traceParam reports whether the request asked for a solve timeline.
+func traceParam(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// answerTraced runs one traced source query. Tracing deliberately
+// bypasses the cache and coalescing on both read and write: the
+// timeline must describe an actual solve executed for this request, and
+// a traced solve's extra clock reads should not pollute the shared
+// cache path timings. The pool still bounds it like any other solve.
+func (s *Server) answerTraced(ctx context.Context, e *Entry, src rs.Vertex, topK int, targets []int64, engine rs.Engine) (distancesResponse, int) {
+	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
+	tb, ok := e.Backend.(TracingBackend)
+	if !ok {
+		resp.Error = fmt.Sprintf("graph %q does not support tracing", e.Name)
+		return resp, http.StatusBadRequest
+	}
+	if err := s.pool.acquire(ctx); err != nil {
+		resp.Error = err.Error()
+		return resp, http.StatusServiceUnavailable
+	}
+	t0 := time.Now()
+	dist, st, tl, err := tb.DistancesTraced(src, engine)
+	s.pool.release()
+	if err != nil {
+		resp.Error = err.Error()
+		return resp, http.StatusInternalServerError
+	}
+	dur := time.Since(t0)
+	s.metrics.observeSolve(e.Name, st, dur)
+	s.logSolve(e.Name, src, st, dur)
+	resp.Trace = tl
+	s.shapeDistances(&resp, dist, topK, targets)
+	return resp, http.StatusOK
 }
 
 // checkTargets range-checks target vertices before any solve runs, so a
@@ -300,11 +385,16 @@ func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK
 	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
 	dist, cached, err := s.distances(ctx, e, src, engine)
 	if err != nil {
-		s.counters.errors.Add(1)
 		resp.Error = err.Error()
 		return resp, http.StatusInternalServerError
 	}
 	resp.Cached = cached
+	s.shapeDistances(&resp, dist, topK, targets)
+	return resp, http.StatusOK
+}
+
+// shapeDistances fills the response body per the topk/targets options.
+func (s *Server) shapeDistances(resp *distancesResponse, dist []float64, topK int, targets []int64) {
 	for _, d := range dist {
 		if !math.IsInf(d, 1) {
 			resp.Reached++
@@ -326,13 +416,11 @@ func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK
 		}
 		resp.Distances = out
 	}
-	return resp, http.StatusOK
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	s.counters.reqRoute.Add(1)
 	var req routeRequest
-	if !decodeBody(w, r, &req, &s.counters) {
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	e, src, ok := s.resolve(w, req.Graph, req.Source)
@@ -358,7 +446,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "route: %v", err)
 		return
 	}
-	s.counters.routeSolves.Add(1)
+	s.metrics.routeSolves.Inc()
 	resp := routeResponse{Graph: e.Name, Source: req.Source, Target: req.Target, Distance: finite(d)}
 	if len(path) > 0 {
 		resp.Hops = len(path) - 1
@@ -371,9 +459,8 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.counters.reqBatch.Add(1)
 	var req batchRequest
-	if !decodeBody(w, r, &req, &s.counters) {
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	eng, perr := engineParam(r)
@@ -405,18 +492,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.checkTargets(w, e, req.Targets) {
 		return
 	}
-	s.counters.batchSources.Add(int64(len(req.Sources)))
+	s.metrics.batchSources.Add(int64(len(req.Sources)))
 
 	// Source-level parallelism: each source runs the full cache →
 	// coalescing → pool pipeline, so duplicates inside one batch
-	// coalesce exactly like concurrent independent clients.
+	// coalesce exactly like concurrent independent clients. Per-source
+	// failures are embedded in a 200 batch response, invisible to the
+	// middleware, so they count into the error family here.
+	batchErrs := s.metrics.httpErrors.With("/v1/batch", "5xx")
 	results := make([]distancesResponse, len(req.Sources))
 	var wg sync.WaitGroup
 	for i, src := range req.Sources {
 		wg.Add(1)
 		go func(i int, src int64) {
 			defer wg.Done()
-			results[i], _ = s.answerSource(r.Context(), e, rs.Vertex(src), req.TopK, req.Targets, eng)
+			var status int
+			results[i], status = s.answerSource(r.Context(), e, rs.Vertex(src), req.TopK, req.Targets, eng)
+			if status >= 400 {
+				batchErrs.Inc()
+			}
 		}(i, src)
 	}
 	wg.Wait()
@@ -439,16 +533,16 @@ func (s *Server) resolve(w http.ResponseWriter, graph string, source int64) (*En
 	return e, rs.Vertex(source), true
 }
 
+// fail writes an error response; the instrumentation middleware counts
+// it into the per-endpoint, per-status-class error family.
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.counters.errors.Add(1)
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any, c *counters) bool {
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		c.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 		return false
 	}

@@ -1,55 +1,12 @@
 package server
 
-import (
-	"sync/atomic"
-
-	rs "radiusstep"
-)
-
-// counters aggregates server-wide activity. All fields are atomics so
-// handlers update them without locking.
-type counters struct {
-	reqDistances atomic.Int64
-	reqRoute     atomic.Int64
-	reqBatch     atomic.Int64
-	reqGraphs    atomic.Int64
-	reqStats     atomic.Int64
-
-	solves       atomic.Int64 // full SSSP solves executed by a backend
-	routeSolves  atomic.Int64 // early-terminated point-to-point solves
-	coalesced    atomic.Int64 // queries that piggybacked on an in-flight solve
-	batchSources atomic.Int64 // sources processed via /v1/batch
-	errors       atomic.Int64 // requests answered with a non-2xx status
-
-	// Ordered-frontier substrate totals across full solves on the
-	// frontier-backed engines (parallel, rho). A substrate regression —
-	// runs multiplying, stale entries piling up (stale/pushes is the
-	// leak ratio), rank queries growing — shows here without a bench
-	// run, per solve counters divided by solvesByEngine.
-	frontierPushes    atomic.Int64
-	frontierBatches   atomic.Int64
-	frontierMerges    atomic.Int64
-	frontierExtracted atomic.Int64
-	frontierStale     atomic.Int64
-	frontierSelects   atomic.Int64
-}
-
-// observeSolve folds one solve's stats into the server-wide counters.
-func (c *counters) observeSolve(st rs.Stats) {
-	c.solves.Add(1)
-	if st.Frontier.Pushes == 0 {
-		return
-	}
-	c.frontierPushes.Add(st.Frontier.Pushes)
-	c.frontierBatches.Add(st.Frontier.Batches)
-	c.frontierMerges.Add(st.Frontier.Merges)
-	c.frontierExtracted.Add(st.Frontier.Extracted)
-	c.frontierStale.Add(st.Frontier.Stale)
-	c.frontierSelects.Add(st.Frontier.Selects)
-}
+import "radiusstep/internal/metrics"
 
 // FrontierStats is the /v1/stats frontier section: substrate operation
-// totals for the frontier-backed engines.
+// totals for the frontier-backed engines. A substrate regression — runs
+// multiplying, stale entries piling up (stale/pushes is the leak
+// ratio), rank queries growing — shows here without a bench run, per
+// solve counters divided by solvesByEngine.
 type FrontierStats struct {
 	Pushes    int64 `json:"pushes"`
 	Batches   int64 `json:"batches"`
@@ -74,7 +31,9 @@ type GraphLoadStats struct {
 // StatsSnapshot is the JSON body served by GET /v1/stats. The solve and
 // cache counters are the observable contract the tests rely on: N
 // concurrent identical queries must show solves == 1, and a repeated
-// source must raise hits without raising solves.
+// source must raise hits without raising solves. Every number here is
+// read from the same metrics registry GET /metrics exposes — the two
+// endpoints are views over one set of counters.
 type StatsSnapshot struct {
 	Requests      map[string]int64 `json:"requests"`
 	Solves        int64            `json:"solves"`
@@ -96,27 +55,52 @@ type StatsSnapshot struct {
 	GraphLoads map[string]GraphLoadStats `json:"graphLoads"`
 }
 
-func (c *counters) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Requests: map[string]int64{
-			"distances": c.reqDistances.Load(),
-			"route":     c.reqRoute.Load(),
-			"batch":     c.reqBatch.Load(),
-			"graphs":    c.reqGraphs.Load(),
-			"stats":     c.reqStats.Load(),
-		},
-		Solves:       c.solves.Load(),
-		RouteSolves:  c.routeSolves.Load(),
-		Coalesced:    c.coalesced.Load(),
-		BatchSources: c.batchSources.Load(),
-		Errors:       c.errors.Load(),
+// statsSnapshot assembles the full stats body — registry counters plus
+// cache, pool, flight, per-graph solve, and load sections — for
+// /v1/stats and the selftest report alike.
+func (s *Server) statsSnapshot() StatsSnapshot {
+	m := s.metrics
+	snap := StatsSnapshot{
+		Requests:     make(map[string]int64, len(endpointNames)),
+		Solves:       m.solves.Value(),
+		RouteSolves:  m.routeSolves.Value(),
+		Coalesced:    m.coalesced.Value(),
+		BatchSources: m.batchSources.Value(),
+		Errors:       m.errorsTotal(),
 		Frontier: FrontierStats{
-			Pushes:    c.frontierPushes.Load(),
-			Batches:   c.frontierBatches.Load(),
-			Merges:    c.frontierMerges.Load(),
-			Extracted: c.frontierExtracted.Load(),
-			Stale:     c.frontierStale.Load(),
-			Selects:   c.frontierSelects.Load(),
+			Pushes:    m.frontierOps.With("pushes").Value(),
+			Batches:   m.frontierOps.With("batches").Value(),
+			Merges:    m.frontierOps.With("merges").Value(),
+			Extracted: m.frontierOps.With("extracted").Value(),
+			Stale:     m.frontierOps.With("stale").Value(),
+			Selects:   m.frontierOps.With("selects").Value(),
 		},
 	}
+	for short, ep := range endpointNames {
+		snap.Requests[short] = m.requests.With(ep).Value()
+	}
+	snap.Cache = s.cache.Stats()
+	snap.Pool = s.pool.Stats()
+	snap.Flight = s.flight.Stats()
+	snap.SolvesByGraph = make(map[string]int64)
+	m.graphCells.Range(func(k, v any) bool {
+		snap.SolvesByGraph[k.(string)] = v.(*metrics.Counter).Value()
+		return true
+	})
+	snap.SolvesByEngine = make(map[string]int64)
+	m.engineCells.Range(func(k, v any) bool {
+		snap.SolvesByEngine[k.(string)] = v.(*metrics.Counter).Value()
+		return true
+	})
+	snap.GraphLoads = make(map[string]GraphLoadStats)
+	for _, e := range s.registry.List() {
+		snap.GraphLoads[e.Name] = GraphLoadStats{
+			Source:          e.Info.Source,
+			Format:          e.Info.Format,
+			RadiiSource:     e.Info.RadiiSource,
+			SnapshotBytes:   e.Info.SnapshotBytes,
+			ColdStartMillis: e.Info.ColdStartMillis,
+		}
+	}
+	return snap
 }

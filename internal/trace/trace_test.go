@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	calls := 0
+	read := func() PoolDelta {
+		calls++
+		// First sample (Begin) returns the low counters, second (End)
+		// the high ones, so the timeline must hold the difference.
+		if calls == 1 {
+			return PoolDelta{Forks: 10, Dispatched: 100, WakeNanos: 1000, Claims: 5}
+		}
+		return PoolDelta{Forks: 13, Dispatched: 140, WakeNanos: 9000, Claims: 25}
+	}
+	r := NewRecorder(read)
+	r.Begin("parallel", 7)
+	r.Step(StepRecord{Step: 1, Di: 3.5, Settled: 42, Substeps: 2, Nanos: 111})
+	r.Substep(SubstepRecord{Step: 1, Substep: 1, Mode: "push", FrontierLen: 9, Nanos: 50})
+	r.Substep(SubstepRecord{Step: 1, Substep: 2, Mode: "pull", FrontierLen: 4, Nanos: 61})
+	tl := r.End(1, 2, 57, FrontierPhases{SortNanos: 17})
+
+	if tl.Engine != "parallel" || tl.Source != 7 {
+		t.Fatalf("identity: engine=%q source=%d", tl.Engine, tl.Source)
+	}
+	if tl.Steps != 1 || tl.Substeps != 2 || tl.Relaxations != 57 {
+		t.Fatalf("summary: %+v", tl)
+	}
+	if len(tl.StepList) != tl.Steps || len(tl.SubstepList) != tl.Substeps {
+		t.Fatalf("list lengths disagree with summary: %d/%d vs %d/%d",
+			len(tl.StepList), len(tl.SubstepList), tl.Steps, tl.Substeps)
+	}
+	if tl.SolveNanos <= 0 {
+		t.Fatalf("SolveNanos = %d, want > 0", tl.SolveNanos)
+	}
+	if tl.Frontier.SortNanos != 17 {
+		t.Fatalf("frontier phases not carried: %+v", tl.Frontier)
+	}
+	want := PoolDelta{Forks: 3, Dispatched: 40, WakeNanos: 8000, Claims: 20}
+	if tl.Pool != want {
+		t.Fatalf("pool delta = %+v, want %+v", tl.Pool, want)
+	}
+	if calls != 2 {
+		t.Fatalf("poolRead called %d times, want 2 (Begin + End)", calls)
+	}
+}
+
+func TestRecorderNilPoolRead(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin("sequential", 0)
+	tl := r.End(0, 0, 0, FrontierPhases{})
+	if tl.Pool != (PoolDelta{}) {
+		t.Fatalf("pool delta without poolRead = %+v, want zero", tl.Pool)
+	}
+}
+
+func TestRecorderBeginResets(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin("sequential", 1)
+	r.Step(StepRecord{Step: 1})
+	r.End(1, 0, 0, FrontierPhases{})
+	// Recorders are documented single-use, but Begin must still leave no
+	// residue from a prior solve if one is reused.
+	r.Begin("flat", 2)
+	tl := r.End(0, 0, 0, FrontierPhases{})
+	if tl.Engine != "flat" || tl.Source != 2 || len(tl.StepList) != 0 {
+		t.Fatalf("Begin did not reset: %+v", tl)
+	}
+}
+
+func TestTimelineJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin("rho", 3)
+	r.Step(StepRecord{Step: 1, Di: 2.25, Lead: 9, FringeLen: 3, Settled: 3, Substeps: 1,
+		TargetNanos: 1, CollectNanos: 2, RelaxNanos: 3, Nanos: 6})
+	r.Substep(SubstepRecord{Step: 1, Substep: 1, Mode: "push", FrontierLen: 3,
+		ArcsScanned: 12, Relaxed: 4, Nanos: 3})
+	tl := r.End(1, 1, 4, FrontierPhases{FilterNanos: 1, SortNanos: 2, MergeNanos: 3})
+
+	data, err := json.Marshal(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Timeline
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	back.SolveNanos = tl.SolveNanos // wall time is the only nondeterministic field
+	if back.Engine != tl.Engine || back.Steps != tl.Steps ||
+		len(back.StepList) != 1 || len(back.SubstepList) != 1 ||
+		back.StepList[0] != tl.StepList[0] || back.SubstepList[0] != tl.SubstepList[0] ||
+		back.Frontier != tl.Frontier {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, *tl)
+	}
+}
+
+func TestRecorderNow(t *testing.T) {
+	r := NewRecorder(nil)
+	if d := time.Since(r.Now()); d < 0 || d > time.Minute {
+		t.Fatalf("Now() implausible: %v ago", d)
+	}
+}
+
+func BenchmarkRecorderSubstep(b *testing.B) {
+	r := NewRecorder(nil)
+	r.Begin("parallel", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Substep(SubstepRecord{Step: 1, Substep: i, Mode: "push", FrontierLen: 100})
+	}
+}

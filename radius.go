@@ -9,6 +9,7 @@ import (
 	"radiusstep/internal/graph"
 	"radiusstep/internal/parallel"
 	"radiusstep/internal/preprocess"
+	"radiusstep/internal/trace"
 )
 
 // Graph is an immutable undirected weighted graph in compressed-sparse-
@@ -35,6 +36,28 @@ type FrontierOps = core.FrontierOps
 
 // StepTrace describes one completed radius-stepping step to observers.
 type StepTrace = core.StepTrace
+
+// Timeline is the full trace of one solve: per-step and per-substep
+// timing records, worker-pool event deltas, and frontier-substrate
+// phase timings. Produced by Solver.DistancesTraced, the daemon's
+// ?trace=1 query parameter, cmd/sssp -trace and radius-bench -trace.
+type Timeline = trace.Timeline
+
+// TimelineStep is one step's trace record (threshold, settled count,
+// substeps, phase timings).
+type TimelineStep = trace.StepRecord
+
+// TimelineSubstep is one Bellman–Ford substep's trace record
+// (push/pull mode, frontier size, arcs scanned, wall time).
+type TimelineSubstep = trace.SubstepRecord
+
+// TimelinePool is the worker-pool event delta across a traced solve
+// (wakes, parks, wake latency, join-barrier wait, claims).
+type TimelinePool = trace.PoolDelta
+
+// TimelineFrontier is the ordered-frontier substrate's phase timing for
+// a traced solve (filter vs sort vs merge time inside Commit).
+type TimelineFrontier = trace.FrontierPhases
 
 // Heuristic selects how shortcut edges are placed for K > 1.
 type Heuristic = preprocess.Heuristic
@@ -448,6 +471,31 @@ func (s *Solver) DistancesWith(src Vertex, engine Engine) ([]float64, Stats, err
 	d, st, err := core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, s.params, ws)
 	s.wsPool.Put(ws)
 	return d, st, err
+}
+
+// DistancesTraced is DistancesWith plus a solve timeline: per-step and
+// per-substep timing records, worker-pool event deltas, and frontier
+// phase timings. The recorder is created per call, so concurrent traced
+// and untraced queries coexist; untraced queries stay on the zero-
+// overhead path (a traced solve costs clock reads and a few small
+// allocations per step). Pool counters are process-global, so under
+// concurrent solves the timeline's pool delta includes the neighbors'
+// events — exact only when solves are serialized (CLI tools, benches).
+func (s *Solver) DistancesTraced(src Vertex, engine Engine) ([]float64, Stats, *Timeline, error) {
+	kind, err := engineKind(s.resolve(engine))
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	rec := core.NewTraceRecorder()
+	params := s.params
+	params.Recorder = rec
+	ws := s.getWS()
+	d, st, err := core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, params, ws)
+	s.wsPool.Put(ws)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	return d, st, rec.Timeline(), nil
 }
 
 // DistancesTrace is Distances with a per-step observer (sequential
