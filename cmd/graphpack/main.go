@@ -44,6 +44,8 @@ func main() {
 	heuristic := flag.String("heuristic", "", "shortcut heuristic for k>1: direct|greedy|dp")
 	order := flag.String("order", "none", "cache-locality vertex order: bfs|degree|none; the snapshot stores the permutation and ssspd maps ids transparently")
 	raw := flag.Bool("raw", false, "skip preprocessing: write a graph-only snapshot (no radii)")
+	landmarks := flag.Int("landmarks", 0, "build K ALT landmark distance vectors and pack them into the snapshot (goal-directed route pruning; needs preprocessing)")
+	lmStrategy := flag.String("landmark-strategy", "farthest", "landmark selection: farthest|degree")
 	out := flag.String("o", "", "output snapshot path (required)")
 	flag.Parse()
 
@@ -55,6 +57,12 @@ func main() {
 	}
 	if *raw && (*rho != 0 || *k != 0 || *heuristic != "") {
 		fail("graphpack: -raw skips preprocessing; -rho/-k/-heuristic do not apply")
+	}
+	if *raw && *landmarks != 0 {
+		fail("graphpack: -landmarks needs preprocessed radii; it does not apply with -raw")
+	}
+	if *landmarks < 0 || *landmarks > rs.MaxLandmarks {
+		fail("graphpack: -landmarks %d out of range [0,%d]", *landmarks, rs.MaxLandmarks)
 	}
 
 	// Load or generate.
@@ -134,6 +142,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "preprocessed rho=%d k=%d heuristic=%s: +%d shortcuts, visited %d, scanned %d (%v)\n",
 			eff.Rho, eff.K, eff.Heuristic, pre.Added, pre.Visited, pre.EdgesScanned,
 			time.Since(t1).Round(time.Millisecond))
+
+		// Landmark vectors are computed in the snapshot's (possibly
+		// reordered) id space, so the daemon restores them without any
+		// remapping: pruning always runs on stored ids.
+		if *landmarks > 0 {
+			strat, err := rs.ParseLandmarkStrategy(*lmStrategy)
+			if err != nil {
+				fail("graphpack: %v", err)
+			}
+			solver, err := rs.NewSolverPre(pre, rs.EngineAuto)
+			if err != nil {
+				fail("graphpack: %v", err)
+			}
+			t2 := time.Now()
+			built, err := solver.BuildLandmarks(*landmarks, strat)
+			if err != nil {
+				fail("graphpack: landmarks: %v", err)
+			}
+			snap.Landmarks, snap.LandmarkDist = solver.LandmarkData()
+			fmt.Fprintf(os.Stderr, "landmarks: built %d (%s) (%v)\n",
+				built, strat, time.Since(t2).Round(time.Millisecond))
+		}
 	}
 
 	t2 := time.Now()
@@ -148,6 +178,6 @@ func main() {
 	if snap.Radii != nil {
 		radii = "yes"
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %.1f MiB, radii=%s (%v)\n",
-		*out, float64(st.Size())/(1<<20), radii, time.Since(t2).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "wrote %s: %.1f MiB, radii=%s, landmarks=%d (%v)\n",
+		*out, float64(st.Size())/(1<<20), radii, len(snap.Landmarks), time.Since(t2).Round(time.Millisecond))
 }

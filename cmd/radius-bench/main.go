@@ -12,6 +12,13 @@
 //	radius-bench -procs 1,2,4,8 -engines seq,par
 //	radius-bench -compare BENCH_5.json
 //	radius-bench -compare latest
+//	radius-bench -routes -gen rmat -n 50000 -pairs 25 -landmarks 8
+//
+// The -routes mode measures per-engine point-to-point route latency
+// with and without goal-directed ALT landmark pruning over the same
+// deterministic source/target pairs, asserting every pruned distance is
+// byte-identical to its unpruned twin; it reports the p50 ratio and the
+// fraction of relaxation candidates the landmark bound skipped.
 //
 // The -engines matrix mode emits per-engine p50/p90 solve latency and
 // per-solve allocation counts as JSON (the BENCH_* trajectory seed); it
@@ -65,6 +72,9 @@ func main() {
 	allocThreshold := flag.Float64("compare-alloc-threshold", 2.0, "compare mode: maximum tolerated allocs-per-solve growth factor (2 = doubled; <= 0 disables)")
 	procs := flag.String("procs", "", "scaling mode: comma list of GOMAXPROCS values (e.g. 1,2,4,8); re-runs the engine matrix at each and reports speedup columns (JSON to stdout, table to stderr)")
 	traceOut := flag.String("trace", "", "matrix mode: write one solve timeline per engine as JSON to this file")
+	routes := flag.Bool("routes", false, "route mode: per-engine point-to-point p50 latency with and without ALT landmark pruning; asserts pruned distances byte-identical (JSON to stdout, table to stderr)")
+	pairs := flag.Int("pairs", 25, "route mode: source/target pairs measured per engine")
+	landmarks := flag.Int("landmarks", 8, "route mode: ALT landmark count")
 	flag.Parse()
 
 	if *list {
@@ -90,7 +100,7 @@ func main() {
 		}
 		return
 	}
-	if *engines != "" || *procs != "" {
+	if *engines != "" || *procs != "" || *routes {
 		var names []string
 		if *engines != "" && *engines != "all" {
 			for _, raw := range strings.Split(*engines, ",") {
@@ -101,6 +111,18 @@ func main() {
 				}
 				names = append(names, e.String())
 			}
+		}
+		if *routes {
+			report, err := bench.RunRouteBench(os.Stdout, bench.RouteBenchConfig{
+				Gen: *gen, N: *n, Weights: *weights, Rho: *rho,
+				Seed: *seed, Pairs: *pairs, Landmarks: *landmarks, Engines: names,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprint(os.Stderr, bench.FormatRouteTable(report))
+			return
 		}
 		mcfg := bench.EngineMatrixConfig{
 			Gen: *gen, N: *n, Weights: *weights, Rho: *rho,

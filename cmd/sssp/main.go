@@ -6,6 +6,7 @@
 //	sssp -gen grid2d -n 250000 -weights 10000 -algo radius -rho 64 -src 0
 //	sssp -gen web -n 100000 -algo delta -delta 5000
 //	sssp -in graph.txt -algo dijkstra -src 17
+//	sssp -gen rmat -n 50000 -weights 10000 -src 0 -target 4999 -landmarks 8
 package main
 
 import (
@@ -47,6 +48,53 @@ func buildGraph(kind string, n int, seed uint64) *rs.Graph {
 	return g
 }
 
+// routeMode answers one point-to-point query with an early-terminated,
+// optionally goal-directed solve and reports the route plus the solve's
+// work counters (pruned= shows the relaxations landmark pruning saved).
+func routeMode(g *rs.Graph, solver *rs.Solver, src, dst rs.Vertex, engine rs.Engine, landmarks int, strategy string, prune, verify bool) {
+	if int(dst) >= g.NumVertices() {
+		fail("target %d out of range", dst)
+	}
+	if landmarks > 0 {
+		strat, err := rs.ParseLandmarkStrategy(strategy)
+		if err != nil {
+			fail("%v", err)
+		}
+		t0 := time.Now()
+		built, err := solver.BuildLandmarks(landmarks, strat)
+		if err != nil {
+			fail("landmarks: %v", err)
+		}
+		fmt.Printf("landmarks: built %d (%s) in %v\n", built, strat, time.Since(t0).Round(time.Microsecond))
+	}
+	t0 := time.Now()
+	path, d, st, err := solver.Route(src, dst, engine, prune)
+	if err != nil {
+		fail("route: %v", err)
+	}
+	elapsed := time.Since(t0)
+	if math.IsInf(d, 1) {
+		fmt.Printf("route: %v  %d..%d unreachable  %s\n", elapsed.Round(time.Microsecond), src, dst, st)
+		return
+	}
+	fmt.Printf("route: %v  dist=%g hops=%d  %s\n", elapsed.Round(time.Microsecond), d, len(path)-1, st)
+	if verify {
+		// The route must realize its claimed length edge by edge, and the
+		// length must match an independent sequential oracle.
+		sum, err := rs.PathLength(g, path)
+		if err != nil {
+			fail("VERIFY FAILED: %v", err)
+		}
+		if sum != d {
+			fail("VERIFY FAILED: path sums to %g, route reported %g", sum, d)
+		}
+		if exact := rs.Dijkstra(g, src)[dst]; exact != d {
+			fail("VERIFY FAILED: dijkstra says %g, route reported %g", exact, d)
+		}
+		fmt.Println("verify: route OK (path tight, distance matches dijkstra)")
+	}
+}
+
 func main() {
 	genKind := flag.String("gen", "", "generate a graph: grid2d|grid3d|road|web|er|rmat|smallworld|comb")
 	n := flag.Int("n", 100000, "approximate vertex count for -gen")
@@ -62,6 +110,10 @@ func main() {
 	delta := flag.Float64("delta", 1000, "delta-stepping bucket width (-algo delta, or -engine delta when set explicitly)")
 	verify := flag.Bool("verify", false, "verify the result certificate")
 	traceOut := flag.String("trace", "", "write the solve timeline (steps, substeps, pool and frontier timings) as JSON to this file (-algo radius only; - for stdout)")
+	target := flag.Int("target", -1, "route mode: answer a point-to-point query src..target with an early-terminated solve (-algo radius only)")
+	landmarks := flag.Int("landmarks", 0, "route mode: build K ALT landmark vectors for goal-directed pruning (0 = none)")
+	lmStrategy := flag.String("landmark-strategy", "farthest", "landmark selection: farthest|degree")
+	prune := flag.Bool("prune", true, "route mode: apply goal-directed landmark pruning (needs -landmarks)")
 	flag.Parse()
 
 	var g *rs.Graph
@@ -114,6 +166,10 @@ func main() {
 		pre := solver.Preprocessed()
 		fmt.Printf("preprocess: %v (added %d shortcuts, visited %d, scanned %d)\n",
 			time.Since(t0).Round(time.Microsecond), pre.Added, pre.Visited, pre.EdgesScanned)
+		if *target >= 0 {
+			routeMode(g, solver, source, rs.Vertex(*target), e, *landmarks, *lmStrategy, *prune, *verify)
+			return
+		}
 		t1 := time.Now()
 		var d []float64
 		var st rs.Stats

@@ -16,6 +16,12 @@
 // on /v1/distances, /v1/route and /v1/batch; /v1/stats reports solve
 // counts per engine.
 //
+// Goal-directed routing: the landmarks=K spec key builds K ALT landmark
+// vectors at load time, making /v1/route solves goal-directed (pruned);
+// ?prune=0 opts a request out for A/B measurement. -auto-landmarks
+// additionally promotes cached distance vectors into each graph's
+// landmark set, so hot sources sharpen later routes for free.
+//
 // Observability: GET /metrics serves Prometheus text (per-engine solve
 // latency histograms, per-endpoint request/error counters, cache, pool
 // and Go runtime health); ?trace=1 on /v1/distances returns the solve's
@@ -64,10 +70,11 @@ import (
 
 // fileConfig is the JSON config accepted by -config.
 type fileConfig struct {
-	Listen  string               `json:"listen,omitempty"`
-	Workers int                  `json:"workers,omitempty"`
-	CacheMB int64                `json:"cacheMB,omitempty"`
-	Graphs  []server.GraphConfig `json:"graphs"`
+	Listen        string               `json:"listen,omitempty"`
+	Workers       int                  `json:"workers,omitempty"`
+	CacheMB       int64                `json:"cacheMB,omitempty"`
+	AutoLandmarks bool                 `json:"autoLandmarks,omitempty"`
+	Graphs        []server.GraphConfig `json:"graphs"`
 }
 
 // multiFlag collects repeated -graph flags.
@@ -93,6 +100,7 @@ func main() {
 	selftestClients := flag.Int("selftest-clients", 16, "concurrent clients used by -selftest")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	logRequests := flag.Bool("log-requests", false, "emit a structured log line per request and per solve")
+	autoLandmarks := flag.Bool("auto-landmarks", false, "promote cached distance vectors into each graph's ALT landmark set (goal-directed route pruning)")
 	flag.Parse()
 
 	// Explicit flags beat the config file; flag.Visit distinguishes a
@@ -121,6 +129,9 @@ func main() {
 		}
 		if fc.CacheMB > 0 && !setFlags["cache-mb"] {
 			*cacheMB = fc.CacheMB
+		}
+		if fc.AutoLandmarks && !setFlags["auto-landmarks"] {
+			*autoLandmarks = true
 		}
 	}
 	for _, spec := range graphSpecs {
@@ -162,9 +173,10 @@ func main() {
 		reqLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	srv := server.New(reg, server.Config{
-		Workers:    *workers,
-		CacheBytes: *cacheMB << 20,
-		Logger:     reqLogger,
+		Workers:       *workers,
+		CacheBytes:    *cacheMB << 20,
+		Logger:        reqLogger,
+		AutoLandmarks: *autoLandmarks,
 	})
 
 	if *selftest {

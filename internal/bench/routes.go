@@ -1,0 +1,208 @@
+package bench
+
+// This file implements the route benchmark mode: per-engine
+// point-to-point latency with and without goal-directed ALT landmark
+// pruning over one preprocessed graph. Every pruned answer is checked
+// byte-identical to its unpruned twin — the benchmark doubles as a
+// differential harness on the measured workload.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	rs "radiusstep"
+)
+
+// RouteBenchConfig describes one route benchmark run.
+type RouteBenchConfig struct {
+	Gen       string // generator family (grid2d, road, web, rmat, ...)
+	N         int    // approximate vertex count
+	Weights   int    // uniform integer weights in [1, Weights]; 0 keeps generator weights
+	Rho       int    // preprocessing ball size
+	Seed      uint64
+	Pairs     int      // route queries per engine (deterministic sampling)
+	Landmarks int      // ALT landmark count (default 8)
+	Engines   []string // engine names; empty means all five
+}
+
+// RouteBenchRow is one engine's route measurement. PrunedRatio is the
+// fraction of relaxation candidates the landmark bound skipped across
+// all pruned solves — the work saved, independent of clock noise.
+type RouteBenchRow struct {
+	Engine            string  `json:"engine"`
+	UnprunedP50Micros float64 `json:"unprunedP50Micros"`
+	PrunedP50Micros   float64 `json:"prunedP50Micros"`
+	// P50Ratio is pruned p50 / unpruned p50; < 1 means pruning wins.
+	P50Ratio         float64 `json:"p50Ratio"`
+	UnprunedRelax    int64   `json:"unprunedRelax"`
+	PrunedRelax      int64   `json:"prunedRelax"`
+	PrunedCandidates int64   `json:"prunedCandidates"`
+	PrunedRatio      float64 `json:"prunedRatio"`
+	Reachable        int     `json:"reachable"`
+	ShortCircuited   int     `json:"shortCircuited"`
+}
+
+// RouteBenchReport is the JSON envelope emitted by RunRouteBench.
+type RouteBenchReport struct {
+	Graph     string          `json:"graph"`
+	N         int             `json:"n"`
+	Seed      uint64          `json:"seed"`
+	Weights   int             `json:"weights"`
+	Vertices  int             `json:"vertices"`
+	Edges     int             `json:"edges"`
+	Rho       int             `json:"rho"`
+	Pairs     int             `json:"pairs"`
+	Landmarks int             `json:"landmarks"`
+	Procs     int             `json:"procs"`
+	Rows      []RouteBenchRow `json:"rows"`
+}
+
+// MeasureRouteBench builds one preprocessed solver, builds the landmark
+// set, and times each engine's target solves over the same
+// deterministic source/target pairs, pruned and unpruned. It errors if
+// any pruned distance differs bit-for-bit from its unpruned twin.
+func MeasureRouteBench(cfg RouteBenchConfig) (*RouteBenchReport, error) {
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 25
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = 32
+	}
+	if cfg.Landmarks == 0 {
+		cfg.Landmarks = 8
+	}
+	engines := cfg.Engines
+	if len(engines) == 0 {
+		engines = AllEngineNames()
+	}
+	g, err := rs.GenerateByName(cfg.Gen, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Weights > 0 {
+		g = rs.WithUniformIntWeights(g, 1, cfg.Weights, cfg.Seed+1)
+	}
+	solver, err := rs.NewSolver(g, rs.Options{Rho: cfg.Rho})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := solver.BuildLandmarks(cfg.Landmarks, rs.LandmarksFarthest); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+
+	// Deterministic pair sampling: coprime strides spread sources and
+	// targets over the id space without any RNG, so a committed workload
+	// re-runs on the same pairs forever.
+	pairs := make([][2]rs.Vertex, 0, cfg.Pairs)
+	for i := 0; len(pairs) < cfg.Pairs; i++ {
+		src := rs.Vertex((i*7919 + 1) % n)
+		dst := rs.Vertex(((i+3)*104729 + 11) % n)
+		if src != dst {
+			pairs = append(pairs, [2]rs.Vertex{src, dst})
+		}
+	}
+
+	report := &RouteBenchReport{
+		Graph:     cfg.Gen,
+		N:         cfg.N,
+		Seed:      cfg.Seed,
+		Weights:   cfg.Weights,
+		Vertices:  n,
+		Edges:     g.NumEdges(),
+		Rho:       cfg.Rho,
+		Pairs:     len(pairs),
+		Landmarks: solver.Landmarks(),
+		Procs:     runtime.GOMAXPROCS(0),
+	}
+	for _, name := range engines {
+		eng, err := rs.ParseEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		// Warm the workspace pool so the timed loop measures steady state.
+		if _, _, _, err := solver.Route(pairs[0][0], pairs[0][1], eng, false); err != nil {
+			return nil, fmt.Errorf("engine %s: %v", name, err)
+		}
+		row := RouteBenchRow{Engine: name}
+		unpruned := make([]float64, 0, len(pairs))
+		pruned := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			t0 := time.Now()
+			_, du, su, err := solver.Route(p[0], p[1], eng, false)
+			unpruned = append(unpruned, float64(time.Since(t0).Microseconds()))
+			if err != nil {
+				return nil, fmt.Errorf("engine %s unpruned %d..%d: %v", name, p[0], p[1], err)
+			}
+			t1 := time.Now()
+			_, dp, sp, err := solver.Route(p[0], p[1], eng, true)
+			pruned = append(pruned, float64(time.Since(t1).Microseconds()))
+			if err != nil {
+				return nil, fmt.Errorf("engine %s pruned %d..%d: %v", name, p[0], p[1], err)
+			}
+			if math.Float64bits(du) != math.Float64bits(dp) {
+				return nil, fmt.Errorf("engine %s: pruned distance %v != unpruned %v for %d..%d",
+					name, dp, du, p[0], p[1])
+			}
+			if !math.IsInf(du, 1) {
+				row.Reachable++
+			}
+			if sp.Steps == 0 && su.Steps > 0 {
+				row.ShortCircuited++
+			}
+			row.UnprunedRelax += su.Relaxations
+			row.PrunedRelax += sp.Relaxations
+			row.PrunedCandidates += sp.Pruned
+		}
+		sort.Float64s(unpruned)
+		sort.Float64s(pruned)
+		row.UnprunedP50Micros = unpruned[len(unpruned)/2]
+		row.PrunedP50Micros = pruned[len(pruned)/2]
+		if row.UnprunedP50Micros > 0 {
+			row.P50Ratio = row.PrunedP50Micros / row.UnprunedP50Micros
+		}
+		if total := row.PrunedRelax + row.PrunedCandidates; total > 0 {
+			row.PrunedRatio = float64(row.PrunedCandidates) / float64(total)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// RunRouteBench measures the route benchmark and emits the report as
+// indented JSON on w.
+func RunRouteBench(w io.Writer, cfg RouteBenchConfig) (*RouteBenchReport, error) {
+	report, err := MeasureRouteBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// FormatRouteTable renders the report as an aligned human-readable
+// table (the stderr companion to the JSON report).
+func FormatRouteTable(r *RouteBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "route bench: %s n=%d m=%d rho=%d pairs=%d landmarks=%d procs=%d\n",
+		r.Graph, r.Vertices, r.Edges, r.Rho, r.Pairs, r.Landmarks, r.Procs)
+	fmt.Fprintf(&b, "  %-12s %15s %13s %7s %12s %11s %8s\n",
+		"engine", "unpruned (µs)", "pruned (µs)", "ratio", "relax saved", "pruned", "pruned%")
+	for _, row := range r.Rows {
+		saved := row.UnprunedRelax - row.PrunedRelax
+		fmt.Fprintf(&b, "  %-12s %15.0f %13.0f %6.2fx %12d %11d %7.1f%%\n",
+			row.Engine, row.UnprunedP50Micros, row.PrunedP50Micros, row.P50Ratio,
+			saved, row.PrunedCandidates, row.PrunedRatio*100)
+	}
+	return b.String()
+}

@@ -64,6 +64,11 @@ type Stats struct {
 	MaxSubsteps int
 	// Relaxations counts successful distance improvements.
 	Relaxations int64
+	// Pruned counts relaxation candidates skipped by the target-mode
+	// goal-direction hook (Params.Bound): their optimistic total
+	// d(u)+w+Bound(v) could not beat the target's current upper bound.
+	// Always zero on full solves and when no Bound is set.
+	Pruned int64
 	// EdgesScanned counts arcs examined.
 	EdgesScanned int64
 	// MaxStep is the largest number of vertices settled in one step.
@@ -77,6 +82,9 @@ type Stats struct {
 func (s Stats) String() string {
 	out := fmt.Sprintf("engine=%s steps=%d substeps=%d maxsub=%d relax=%d scanned=%d maxstep=%d",
 		s.Engine, s.Steps, s.Substeps, s.MaxSubsteps, s.Relaxations, s.EdgesScanned, s.MaxStep)
+	if s.Pruned > 0 {
+		out += fmt.Sprintf(" pruned=%d", s.Pruned)
+	}
 	if s.Frontier.Batches > 0 {
 		out += fmt.Sprintf(" frontier(batches=%d merges=%d extracted=%d stale=%d)",
 			s.Frontier.Batches, s.Frontier.Merges, s.Frontier.Extracted, s.Frontier.Stale)

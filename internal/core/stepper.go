@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"radiusstep/internal/graph"
@@ -78,6 +79,27 @@ type Params struct {
 	// path — adds a single pointer comparison per instrumentation site
 	// and zero allocations; the CI alloc gates depend on that.
 	Recorder *trace.Recorder
+	// Bound, when non-nil on a target-mode solve (SolveKindTarget), is
+	// an admissible lower bound on the remaining distance from v to the
+	// solve's target: Bound(v) <= true d(v, target) for every v, with 0
+	// meaning "unknown" and +Inf asserting the target is unreachable
+	// from v. Relaxations whose optimistic total d(u)+w+Bound(v)
+	// strictly exceeds the target's current upper bound are skipped and
+	// counted in Stats.Pruned; admissibility guarantees no relaxation
+	// on a shortest path to the target is ever skipped, so the target
+	// distance is byte-identical to the unpruned solve's (remaining
+	// entries of the distance vector may be looser upper bounds than an
+	// unpruned target solve would leave). Full solves (no target)
+	// ignore the hook. Bound is called on the relaxation hot path from
+	// multiple goroutines concurrently: it must be cheap, pure, and
+	// safe for concurrent use.
+	Bound func(v graph.V) float64
+	// UpperBound primes the target's upper bound before the first
+	// substep (for ALT, the landmark estimate min_L d(L,s)+d(L,t) >=
+	// d(s,t)), so pruning bites before any relaxation reaches the
+	// target. It must be a true upper bound on d(src, target); <= 0
+	// means none. Consulted only when Bound is non-nil.
+	UpperBound float64
 }
 
 // NewTraceRecorder returns a solve-trace recorder wired to the worker
@@ -257,6 +279,21 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	ws.prepare(g, radii)
 	sp := ws.stepperFor(kind, p)
 	sp.reset()
+
+	// Goal-directed pruning: the Bound hook is honored only when the
+	// solve has a target to prune toward. The hook and its upper bound
+	// are (re)set on every solve so a pooled workspace never inherits a
+	// stale bound from an earlier target solve.
+	ws.bound = nil
+	if stopAt >= 0 && p.Bound != nil {
+		ws.bound = p.Bound
+		ws.boundTarget = stopAt
+		ws.ubPrior = math.Inf(1)
+		if p.UpperBound > 0 {
+			ws.ubPrior = p.UpperBound
+		}
+		ws.resetBound(g.NumVertices())
+	}
 
 	// Solve tracing: rec == nil (the hot path) keeps every site below a
 	// pointer comparison. Fringe timing is (re)set on every solve so a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -45,6 +46,18 @@ const arcGrain = 2048
 // pullGrain is the vertex-space chunk size for parallel pull sweeps.
 const pullGrain = 512
 
+// ubSlack widens the target-mode prune threshold by one part in 1e9.
+// Tentative distances are float path sums carrying up to ~1 ulp of
+// rounding per edge (2^-53 relative, so well under 1e-9 for any
+// realistic path), and the prune test compares such sums against each
+// other: without the widening, a path whose float sum is minimal could
+// be pruned because rounding noise pushed its prefix a few ulps above
+// the target's current bound. The slack makes the comparison immune to
+// that noise — pruned solves stay byte-identical to unpruned ones —
+// while admitting only candidates within 1e-9 relative of the bound,
+// a vanishing loss of pruning power.
+const ubSlack = 1e-9
+
 // Workspace holds every buffer a solve needs — the distance bits, the
 // settled/stamp arrays, the frontier lists, and per-stepper fringe
 // structures. A zero workspace is ready to use; reusing one across
@@ -77,6 +90,22 @@ type Workspace struct {
 	// denominator of the adaptive push/pull decision. Maintained by the
 	// driver as vertices settle.
 	remArcs int64
+
+	// bound, when non-nil, is the target-mode goal-direction hook
+	// (Params.Bound): an admissible lower bound on the remaining
+	// distance from a vertex to boundTarget. ubPrior is the a-priori
+	// upper bound on d(src, boundTarget) (+Inf when none); ub is the
+	// per-substep snapshot min(ubPrior, δ(boundTarget)) that relax
+	// paths prune against — snapshotted once per substep so pruning
+	// decisions are deterministic and free of cross-worker reads. The
+	// driver resets bound on every solve.
+	bound       func(graph.V) float64
+	boundTarget graph.V
+	ubPrior     float64
+	ub          float64
+	// bcache memoizes bound(v) for the current solve as
+	// Float64bits(b)+1, zero meaning "uncomputed" — see boundAt.
+	bcache []uint64
 
 	hp *heapStepper
 	fs *frontierStepper
@@ -143,6 +172,30 @@ func (ws *Workspace) nextSubID() uint32 {
 	return ws.subID
 }
 
+// resetBound sizes and clears the per-solve bound memo; the driver
+// calls it once when a goal-directed solve begins.
+func (ws *Workspace) resetBound(n int) {
+	ws.bcache = sized(ws.bcache, n)
+	parallel.Fill(ws.bcache, 0)
+}
+
+// boundAt memoizes ws.bound per vertex for the current solve: the k-way
+// landmark scan behind the hook runs at most once per vertex instead of
+// once per scanned arc — the difference between goal-directed pruning
+// being a net win and a net loss on dense frontiers. The cache stores
+// Float64bits(b)+1 so the zero value means "uncomputed" and reset is
+// one memclr; atomics make concurrent fills race-free, and duplicate
+// computations are benign because bound is pure (identical bits land
+// either way).
+func (ws *Workspace) boundAt(v graph.V) float64 {
+	if c := atomic.LoadUint64(&ws.bcache[v]); c != 0 {
+		return math.Float64frombits(c - 1)
+	}
+	b := ws.bound(v)
+	atomic.StoreUint64(&ws.bcache[v], math.Float64bits(b)+1)
+	return b
+}
+
 // sized returns s with length exactly n, reusing capacity when possible.
 func sized[T any](s []T, n int) []T {
 	if cap(s) >= n {
@@ -186,6 +239,18 @@ func (ws *Workspace) mergeParts(parts [][]graph.V) []graph.V {
 // engine) always takes the scalar paths. On GOMAXPROCS=1 the scalar
 // paths also serve the parallel engines — same distances, no atomics.
 func (ws *Workspace) relax(frontier []graph.V, st *Stats, seq bool, mode RelaxMode) []graph.V {
+	if ws.bound != nil {
+		// One upper-bound snapshot per substep: the best known distance
+		// to the target. Reading δ(target) here (between substeps, on
+		// one goroutine) keeps the prune predicate a pure function of
+		// the substep's Jacobi snapshot, so prune decisions — like the
+		// distances themselves — do not depend on worker interleaving.
+		ub := ws.ubPrior
+		if td := parallel.FromBits(ws.bits[ws.boundTarget]); td < ub {
+			ub = td
+		}
+		ws.ub = ub + ub*ubSlack
+	}
 	par := !seq && parallel.Procs() > 1
 	totalArcs := int64(-1) // frontier arc count; built lazily, at most once
 	pull := false
@@ -248,10 +313,21 @@ func (ws *Workspace) pushSeq(frontier []graph.V, st *Stats) []graph.V {
 	for i, u := range frontier {
 		snap[i] = parallel.FromBits(ws.bits[u])
 	}
+	bnd, ub := ws.bound, ws.ub
 	out := ws.updated[:0]
 	for fi, u := range frontier {
 		du := snap[fi]
 		adj, wts := ws.g.Neighbors(u)
+		// Expansion-time prune: if u itself cannot lie on a path that
+		// beats the target bound, none of its relaxations can — the
+		// landmark bound is consistent (|lb(u) - lb(v)| <= w(u,v)), so
+		// every arc out of u would fail the write-time test anyway.
+		// Skipping the whole adjacency here is what turns pruning into
+		// saved scan work rather than just saved writes.
+		if bnd != nil && du+ws.boundAt(u) > ub {
+			st.Pruned += int64(len(adj))
+			continue
+		}
 		st.EdgesScanned += int64(len(adj))
 		for j, v := range adj {
 			if ws.done[v] {
@@ -259,6 +335,13 @@ func (ws *Workspace) pushSeq(frontier []graph.V, st *Stats) []graph.V {
 			}
 			nd := du + wts[j]
 			if nd >= parallel.FromBits(ws.bits[v]) {
+				continue
+			}
+			// The improvement test runs first: it is one load against the
+			// memoized bound's potential miss, and a candidate is written
+			// iff it improves AND survives the bound — order-free.
+			if bnd != nil && nd+ws.boundAt(v) > ub {
+				st.Pruned++
 				continue
 			}
 			ws.bits[v] = parallel.ToBits(nd)
@@ -291,11 +374,12 @@ func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []g
 		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
 	})
 	degOff := ws.degOff
+	bnd, ub := ws.bound, ws.ub
 
-	var relaxed, scanned atomic.Int64
+	var relaxed, scanned, pruned atomic.Int64
 	parallel.WorkersGrain(int(totalArcs), arcGrain, func(w int, claim func() (int, int, bool)) {
 		local := parts[w][:0]
-		var rl, sc int64
+		var rl, sc, pr int64
 		for {
 			alo, ahi, ok := claim()
 			if !ok {
@@ -314,10 +398,30 @@ func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []g
 				if hi > int64(len(adj)) {
 					hi = int64(len(adj))
 				}
+				// Expansion-time prune (see pushSeq): a source vertex
+				// that cannot beat the target bound contributes nothing;
+				// skip its share of the claimed arc range wholesale.
+				if bnd != nil && du+ws.boundAt(u) > ub {
+					pr += hi - lo
+					continue
+				}
 				sc += hi - lo
 				for j := lo; j < hi; j++ {
 					v := adj[j]
-					nb := parallel.ToBits(du + wts[j])
+					nd := du + wts[j]
+					if bnd != nil {
+						// Monotone filter first: the cell only decreases,
+						// so a candidate at or above the current value
+						// would fail WriteMin anyway and needs no bound.
+						if nd >= parallel.FromBits(atomic.LoadUint64(&bits[v])) {
+							continue
+						}
+						if nd+ws.boundAt(v) > ub {
+							pr++
+							continue
+						}
+					}
+					nb := parallel.ToBits(nd)
 					if parallel.WriteMin(&bits[v], nb) {
 						rl++
 						if parallel.Claim(&ws.sub[v], subID) {
@@ -330,9 +434,11 @@ func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []g
 		parts[w] = local
 		relaxed.Add(rl)
 		scanned.Add(sc)
+		pruned.Add(pr)
 	})
 	st.Relaxations += relaxed.Load()
 	st.EdgesScanned += scanned.Load()
+	st.Pruned += pruned.Load()
 	return ws.mergeParts(parts)
 }
 
@@ -366,6 +472,7 @@ func (ws *Workspace) markFrontier(frontier []graph.V, par bool) []float64 {
 func (ws *Workspace) pullSeq(frontier []graph.V, st *Stats) []graph.V {
 	subID := ws.subID
 	fs := ws.markFrontier(frontier, false)
+	bnd, ub := ws.bound, ws.ub
 	out := ws.updated[:0]
 	n := len(ws.bits)
 	for v := 0; v < n; v++ {
@@ -384,6 +491,13 @@ func (ws *Workspace) pullSeq(frontier []graph.V, st *Stats) []graph.V {
 			}
 		}
 		if nd < dv {
+			// Pull gathers the min first, so the prune test runs once
+			// per improved vertex, not per arc: if the min candidate
+			// cannot beat the target bound, no candidate can.
+			if bnd != nil && nd+ws.boundAt(graph.V(v)) > ub {
+				st.Pruned++
+				continue
+			}
 			ws.bits[v] = parallel.ToBits(nd)
 			st.Relaxations++
 			out = append(out, graph.V(v))
@@ -403,10 +517,11 @@ func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
 	parts := ws.growParts(parallel.Procs())
 	bits := ws.bits
 	infr := ws.infr
-	var relaxed, scanned atomic.Int64
+	bnd, ub := ws.bound, ws.ub
+	var relaxed, scanned, pruned atomic.Int64
 	parallel.WorkersGrain(len(bits), pullGrain, func(w int, claim func() (int, int, bool)) {
 		local := parts[w][:0]
-		var rl, sc int64
+		var rl, sc, pr int64
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -428,6 +543,10 @@ func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
 					}
 				}
 				if nd < dv {
+					if bnd != nil && nd+ws.boundAt(graph.V(v)) > ub {
+						pr++
+						continue
+					}
 					bits[v] = parallel.ToBits(nd)
 					rl++
 					local = append(local, graph.V(v))
@@ -437,8 +556,10 @@ func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
 		parts[w] = local
 		relaxed.Add(rl)
 		scanned.Add(sc)
+		pruned.Add(pr)
 	})
 	st.Relaxations += relaxed.Load()
 	st.EdgesScanned += scanned.Load()
+	st.Pruned += pruned.Load()
 	return ws.mergeParts(parts)
 }

@@ -24,7 +24,8 @@ import (
 //	magic    uint64  "RSSNAP01"
 //	version  uint32  currently 1
 //	flags    uint32  bit 0: radii present; bit 1: original graph present;
-//	                 bit 2: relabeling permutation present
+//	                 bit 2: relabeling permutation present;
+//	                 bit 3: ALT landmark vectors present
 //	n        uint64  vertex count
 //	arcs     uint64  arc count of G (2m)
 //	origArcs uint64  arc count of Original (0 when absent)
@@ -40,6 +41,9 @@ import (
 //	origAdj  [origArcs]int32    (iff flag bit 1)
 //	origW    [origArcs]float64  (iff flag bit 1)
 //	Perm     [n]int32           (iff flag bit 2)
+//	lmK      uint32             (iff flag bit 3)
+//	LmVerts  [lmK]int32         (iff flag bit 3)
+//	LmDist   [lmK*n]float64     (iff flag bit 3, landmark-major rows)
 //	checksum uint32  CRC-32C (Castagnoli) of everything above
 //
 // Readers that predate a flag bit reject files carrying it (unknown
@@ -74,18 +78,34 @@ type Snapshot struct {
 	// its inverse so clients keep using original ids. Nil when the graph
 	// was packed in its input order.
 	Perm []V
+	// Landmarks lists the ALT landmark vertices whose full distance
+	// vectors ride in LandmarkDist, so a loaded solver can serve
+	// goal-directed route queries without re-solving them. Ids are in
+	// the snapshot's id space (stored ids when Perm is present).
+	// Optional; nil when the packer built no landmarks.
+	Landmarks []V
+	// LandmarkDist is the flat landmark-major distance matrix:
+	// LandmarkDist[i*n+v] = d(Landmarks[i], v), with +Inf for vertices
+	// a landmark cannot reach. len == len(Landmarks)*n.
+	LandmarkDist []float64
 }
 
 const (
 	snapMagic   = uint64(0x313050414E535352) // "RSSNAP01", little-endian
 	snapVersion = uint32(1)
 
-	snapFlagRadii    = uint32(1 << 0)
-	snapFlagOriginal = uint32(1 << 1)
-	snapFlagPerm     = uint32(1 << 2)
-	snapKnownFlags   = snapFlagRadii | snapFlagOriginal | snapFlagPerm
+	snapFlagRadii     = uint32(1 << 0)
+	snapFlagOriginal  = uint32(1 << 1)
+	snapFlagPerm      = uint32(1 << 2)
+	snapFlagLandmarks = uint32(1 << 3)
+	snapKnownFlags    = snapFlagRadii | snapFlagOriginal | snapFlagPerm | snapFlagLandmarks
 
 	maxHeuristicLen = 64
+	// maxSnapshotLandmarks bounds the landmark count a reader will
+	// allocate for. Deliberately far above internal/landmark's
+	// MaxLandmarks (64) so the format outlives that policy cap, but low
+	// enough that a bit-flipped count can never demand a huge matrix.
+	maxSnapshotLandmarks = 4096
 )
 
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -125,6 +145,18 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if len(s.Heuristic) > maxHeuristicLen {
 		return fmt.Errorf("graph: snapshot heuristic name too long (%d bytes)", len(s.Heuristic))
 	}
+	if len(s.Landmarks) > maxSnapshotLandmarks {
+		return fmt.Errorf("graph: snapshot has %d landmarks (max %d)", len(s.Landmarks), maxSnapshotLandmarks)
+	}
+	if len(s.LandmarkDist) != len(s.Landmarks)*n {
+		return fmt.Errorf("graph: snapshot landmark matrix has %d entries for %d landmarks over %d vertices",
+			len(s.LandmarkDist), len(s.Landmarks), n)
+	}
+	for _, v := range s.Landmarks {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("graph: snapshot landmark %d out of range [0,%d)", v, n)
+		}
+	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	crc := crc32.New(snapCRC)
@@ -141,6 +173,9 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	if s.Perm != nil {
 		flags |= snapFlagPerm
+	}
+	if len(s.Landmarks) > 0 {
+		flags |= snapFlagLandmarks
 	}
 	head := []any{
 		snapMagic, snapVersion, flags,
@@ -164,6 +199,9 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	if s.Perm != nil {
 		sections = append(sections, s.Perm)
+	}
+	if len(s.Landmarks) > 0 {
+		sections = append(sections, uint32(len(s.Landmarks)), s.Landmarks, s.LandmarkDist)
 	}
 	for _, sec := range sections {
 		if err := binary.Write(out, binary.LittleEndian, sec); err != nil {
@@ -225,6 +263,9 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	if hlen > maxHeuristicLen {
 		return nil, fmt.Errorf("graph: implausible heuristic name length %d", hlen)
 	}
+	// lmKSized is the landmark count implied by the file size (-1 when
+	// the size is unknown); the payload's count field must agree.
+	lmKSized := int64(-1)
 	if maxBytes > 0 {
 		need := int64(52) + int64(hlen) + int64(n+1)*8 + int64(arcs)*12 + 4
 		if flags&snapFlagRadii != 0 {
@@ -236,7 +277,19 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 		if flags&snapFlagPerm != 0 {
 			need += int64(n) * 4
 		}
-		if need != maxBytes {
+		if flags&snapFlagLandmarks != 0 {
+			// The landmark count lives in the payload, not the fixed
+			// header: derive it from the remaining bytes (a 4-byte
+			// count, then 4+8n bytes per landmark), insisting the
+			// remainder divides exactly; the count field read later
+			// must match it.
+			rem := maxBytes - need - 4
+			per := int64(4) + int64(n)*8
+			if rem < 0 || per <= 0 || rem%per != 0 {
+				return nil, fmt.Errorf("graph: snapshot landmark section size %d does not fit %d-vertex vectors", maxBytes-need, n)
+			}
+			lmKSized = rem / per
+		} else if need != maxBytes {
 			return nil, fmt.Errorf("graph: snapshot header declares %d bytes but file has %d", need, maxBytes)
 		}
 	}
@@ -286,6 +339,45 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 				return nil, fmt.Errorf("graph: snapshot permutation corrupt at index %d (maps to %d)", i, p)
 			}
 			seen[p] = true
+		}
+	}
+	if flags&snapFlagLandmarks != 0 {
+		var lmK uint32
+		if err := binary.Read(in, binary.LittleEndian, &lmK); err != nil {
+			return nil, fmt.Errorf("graph: snapshot landmark count: %w", err)
+		}
+		if lmK == 0 || lmK > maxSnapshotLandmarks || uint64(lmK) > n {
+			return nil, fmt.Errorf("graph: implausible snapshot landmark count %d (n=%d)", lmK, n)
+		}
+		if lmKSized >= 0 && int64(lmK) != lmKSized {
+			return nil, fmt.Errorf("graph: snapshot declares %d landmarks but file size fits %d", lmK, lmKSized)
+		}
+		s.Landmarks = make([]V, lmK)
+		if err := binary.Read(in, binary.LittleEndian, s.Landmarks); err != nil {
+			return nil, fmt.Errorf("graph: snapshot landmark vertices: %w", err)
+		}
+		lmSeen := make(map[V]bool, lmK)
+		for i, v := range s.Landmarks {
+			if v < 0 || uint64(v) >= n || lmSeen[v] {
+				return nil, fmt.Errorf("graph: snapshot landmark %d corrupt at index %d", v, i)
+			}
+			lmSeen[v] = true
+		}
+		s.LandmarkDist = make([]float64, uint64(lmK)*n)
+		if err := binary.Read(in, binary.LittleEndian, s.LandmarkDist); err != nil {
+			return nil, fmt.Errorf("graph: snapshot landmark vectors: %w", err)
+		}
+		for i, d := range s.LandmarkDist {
+			// +Inf is meaningful (vertex outside the landmark's
+			// component); NaN and negatives are corruption.
+			if math.IsNaN(d) || d < 0 {
+				return nil, fmt.Errorf("graph: snapshot landmark distance %v at entry %d", d, i)
+			}
+		}
+		for i, v := range s.Landmarks {
+			if s.LandmarkDist[uint64(i)*n+uint64(v)] != 0 {
+				return nil, fmt.Errorf("graph: snapshot landmark %d has nonzero self-distance", v)
+			}
 		}
 	}
 

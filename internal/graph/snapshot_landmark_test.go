@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// landmarkRows builds a synthetic landmark-major matrix for verts over
+// n vertices: row i is |v − L| with a sprinkling of +Inf entries away
+// from the landmark (other-component markers the format must preserve).
+func landmarkRows(n int, verts []V) []float64 {
+	rows := make([]float64, len(verts)*n)
+	for i, l := range verts {
+		for v := 0; v < n; v++ {
+			d := math.Abs(float64(v) - float64(l))
+			if v%7 == 3 && V(v) != l {
+				d = math.Inf(1)
+			}
+			rows[i*n+v] = d
+		}
+	}
+	return rows
+}
+
+// TestSnapshotLandmarkRoundTrip: landmark vectors survive the write/read
+// cycle bit-for-bit in every flag combination they can ride with —
+// graph-only, with radii, and with a reorder permutation (the graphpack
+// -order -landmarks shape).
+func TestSnapshotLandmarkRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomCSR(35+int(seed)*11, 90, seed+50)
+		n := g.NumVertices()
+		radii := make([]float64, n)
+		for i := range radii {
+			radii[i] = float64(i%13) / 2
+		}
+		perm := make([]V, n)
+		for i := range perm {
+			perm[i] = V(n - 1 - i)
+		}
+		verts := []V{V(3), V(n - 1), V(n / 2)}
+		rows := landmarkRows(n, verts)
+
+		cases := []struct {
+			name string
+			s    *Snapshot
+		}{
+			{"graph+landmarks", &Snapshot{G: g, Landmarks: verts, LandmarkDist: rows}},
+			{"radii+landmarks", &Snapshot{G: g, Radii: radii, Rho: 32, K: 1, Heuristic: "direct", Landmarks: verts, LandmarkDist: rows}},
+			{"perm+landmarks", &Snapshot{G: g, Radii: radii, Rho: 8, K: 1, Heuristic: "direct", Perm: perm, Landmarks: verts, LandmarkDist: rows}},
+		}
+		for _, tc := range cases {
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, tc.s); err != nil {
+				t.Fatalf("seed %d %s: write: %v", seed, tc.name, err)
+			}
+			got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("seed %d %s: read: %v", seed, tc.name, err)
+			}
+			if !reflect.DeepEqual(got, tc.s) {
+				t.Fatalf("seed %d %s: round trip mismatch", seed, tc.name)
+			}
+		}
+	}
+}
+
+func TestSnapshotLandmarkWriteRejects(t *testing.T) {
+	g := randomCSR(12, 24, 60)
+	n := g.NumVertices()
+	cases := []struct {
+		name string
+		s    *Snapshot
+	}{
+		{"too-many", &Snapshot{G: g, Landmarks: make([]V, maxSnapshotLandmarks+1)}},
+		{"dist-length", &Snapshot{G: g, Landmarks: []V{1}, LandmarkDist: make([]float64, n-1)}},
+		{"vertex-range", &Snapshot{G: g, Landmarks: []V{V(n)}, LandmarkDist: make([]float64, n)}},
+		{"orphan-dist", &Snapshot{G: g, LandmarkDist: make([]float64, n)}},
+	}
+	for _, tc := range cases {
+		if err := WriteSnapshot(&bytes.Buffer{}, tc.s); err == nil {
+			t.Fatalf("%s: invalid landmark snapshot accepted", tc.name)
+		}
+	}
+}
+
+// TestSnapshotLandmarkReadRejects: value corruption WriteSnapshot does
+// not inspect (it validates shape, not semantics) must be caught by the
+// reader before the snapshot reaches a solver.
+func TestSnapshotLandmarkReadRejects(t *testing.T) {
+	g := randomCSR(15, 30, 61)
+	n := g.NumVertices()
+	write := func(mutate func(rows []float64)) []byte {
+		verts := []V{2, 9}
+		rows := landmarkRows(n, verts)
+		mutate(rows)
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, &Snapshot{G: g, Landmarks: verts, LandmarkDist: rows}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	if _, err := ReadSnapshot(bytes.NewReader(write(func(rows []float64) {
+		rows[0*n+2] = 1 // nonzero self-distance
+	}))); err == nil || !strings.Contains(err.Error(), "self-distance") {
+		t.Fatalf("nonzero self-distance: err = %v", err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(write(func(rows []float64) {
+		rows[n+5] = -0.5
+	}))); err == nil || !strings.Contains(err.Error(), "landmark distance") {
+		t.Fatalf("negative distance: err = %v", err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(write(func(rows []float64) {
+		rows[n+5] = math.NaN()
+	}))); err == nil || !strings.Contains(err.Error(), "landmark distance") {
+		t.Fatalf("NaN distance: err = %v", err)
+	}
+
+	// Truncation anywhere in a landmark-carrying snapshot fails loudly.
+	raw := write(func([]float64) {})
+	for cut := 0; cut < len(raw); cut += 1 + cut/3 {
+		if _, err := ReadSnapshot(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(raw))
+		}
+	}
+	// A bit flip in the landmark payload is the checksum's problem.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-12] ^= 1
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("flipped landmark payload accepted")
+	}
+}

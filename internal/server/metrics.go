@@ -42,14 +42,17 @@ type serverMetrics struct {
 	reqDur     *metrics.HistogramVec // endpoint
 	httpErrors *metrics.CounterVec   // endpoint, class
 
-	solves       *metrics.Counter
-	solveDur     *metrics.HistogramVec // engine
-	engineSolves *metrics.CounterVec   // engine
-	graphSolves  *metrics.CounterVec   // graph
-	routeSolves  *metrics.Counter
-	coalesced    *metrics.Counter
-	batchSources *metrics.Counter
-	frontierOps  *metrics.CounterVec // op
+	solves           *metrics.Counter
+	solveDur         *metrics.HistogramVec // engine
+	engineSolves     *metrics.CounterVec   // engine
+	graphSolves      *metrics.CounterVec   // graph
+	routeSolves      *metrics.Counter
+	routeCacheHits   *metrics.Counter
+	routePruned      *metrics.Counter
+	landmarksAdopted *metrics.Counter
+	coalesced        *metrics.Counter
+	batchSources     *metrics.Counter
+	frontierOps      *metrics.CounterVec // op
 
 	// Memoized children for hot paths and for snapshot enumeration
 	// (CounterVec does not expose its label sets).
@@ -88,6 +91,22 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Full SSSP solves, by graph name.", "graph")
 	m.routeSolves = r.NewCounter("sssp_route_solves_total",
 		"Early-terminated point-to-point route solves.")
+	m.routeCacheHits = r.NewCounter("sssp_route_cache_hits_total",
+		"Route queries answered from a cached distance vector (no solve).")
+	m.routePruned = r.NewCounter("sssp_route_pruned_relaxations_total",
+		"Relaxation candidates skipped by goal-directed landmark pruning.")
+	m.landmarksAdopted = r.NewCounter("sssp_landmarks_adopted_total",
+		"Cached distance vectors promoted into ALT landmark sets.")
+	r.NewGaugeFunc("sssp_landmarks", "ALT landmark vectors serving route pruning, across graphs.",
+		func() float64 {
+			var total int
+			for _, e := range s.registry.List() {
+				if lb, ok := e.Backend.(LandmarkBackend); ok {
+					total += lb.Landmarks()
+				}
+			}
+			return float64(total)
+		})
 	m.coalesced = r.NewCounter("sssp_coalesced_requests_total",
 		"Queries that piggybacked on an in-flight identical solve.")
 	m.batchSources = r.NewCounter("sssp_batch_sources_total",

@@ -39,6 +39,39 @@ type TracingBackend interface {
 	DistancesTraced(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, *rs.Timeline, error)
 }
 
+// RoutingBackend is the optional extension a Backend implements to
+// answer point-to-point queries with goal-directed (ALT landmark)
+// pruning and per-solve statistics. Like TracingBackend it is a
+// separate interface so Backend fakes keep compiling; a backend
+// without it falls back to Path.
+type RoutingBackend interface {
+	// Route answers a point-to-point query. prune enables landmark
+	// pruning when the backend has landmarks (a no-op otherwise); the
+	// distance is identical either way, only Stats.Pruned differs.
+	Route(src, dst rs.Vertex, engine rs.Engine, prune bool) ([]rs.Vertex, float64, rs.Stats, error)
+}
+
+// VectorRouter is the optional extension that reconstructs a route from
+// an already-computed full distance vector — the server uses it to
+// answer /v1/route from the distance cache without spending a solve
+// slot.
+type VectorRouter interface {
+	PathFromDistances(src, dst rs.Vertex, dist []float64) ([]rs.Vertex, float64, error)
+}
+
+// LandmarkBackend is the optional extension for ALT landmark
+// management: reporting the live landmark count and promoting cached
+// distance vectors into the landmark set (Config.AutoLandmarks).
+type LandmarkBackend interface {
+	// Landmarks reports the number of landmark vectors serving
+	// goal-directed route queries.
+	Landmarks() int
+	// AdoptLandmark promotes src's full distance vector into the
+	// landmark set. It reports false with a nil error when src is
+	// already a landmark or the set is full.
+	AdoptLandmark(src rs.Vertex, dist []float64) (bool, error)
+}
+
 // RadiiSource values: where a graph's radii came from at load time. The
 // snapshot value is the observable contract that the registry skipped
 // preprocessing and reused persisted radii.
@@ -77,6 +110,10 @@ type GraphInfo struct {
 	// ColdStartMillis is the total load time — file read plus any
 	// preprocessing — from BuildEntry start to a query-ready solver.
 	ColdStartMillis int64 `json:"coldStartMillis"`
+	// Landmarks is the number of ALT landmark vectors serving
+	// goal-directed route pruning. handleGraphs refreshes it live from
+	// the backend (cache adoption grows the set after load).
+	Landmarks int `json:"landmarks,omitempty"`
 }
 
 // Entry binds a name to a query backend and its metadata.
@@ -158,6 +195,20 @@ func (b *solverBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex,
 	return b.solver.PathWith(src, dst, engine)
 }
 
+func (b *solverBackend) Route(src, dst rs.Vertex, engine rs.Engine, prune bool) ([]rs.Vertex, float64, rs.Stats, error) {
+	return b.solver.Route(src, dst, engine, prune)
+}
+
+func (b *solverBackend) PathFromDistances(src, dst rs.Vertex, dist []float64) ([]rs.Vertex, float64, error) {
+	return b.solver.PathFromDistances(src, dst, dist)
+}
+
+func (b *solverBackend) Landmarks() int { return b.solver.Landmarks() }
+
+func (b *solverBackend) AdoptLandmark(src rs.Vertex, dist []float64) (bool, error) {
+	return b.solver.AdoptLandmark(src, dist)
+}
+
 // remapBackend serves a graph that was relabeled at pack time for cache
 // locality: queries arrive in original ids, the inner backend solves in
 // stored ids, and every answer is mapped back. Clients never observe the
@@ -233,6 +284,93 @@ func (b *remapBackend) Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, 
 	return out, d, nil
 }
 
+// Route maps a goal-directed route through the relabeling: endpoints go
+// original → stored, the path comes back stored → original. Landmark
+// pruning happens in stored-id space (where the inner solver's landmark
+// vectors live), invisible to the client.
+func (b *remapBackend) Route(src, dst rs.Vertex, engine rs.Engine, prune bool) ([]rs.Vertex, float64, rs.Stats, error) {
+	rb, ok := b.inner.(RoutingBackend)
+	if !ok {
+		return nil, 0, rs.Stats{}, fmt.Errorf("server: backend does not support routing")
+	}
+	if err := b.checkVertex(src); err != nil {
+		return nil, 0, rs.Stats{}, err
+	}
+	if err := b.checkVertex(dst); err != nil {
+		return nil, 0, rs.Stats{}, err
+	}
+	p, d, st, err := rb.Route(b.perm[src], b.perm[dst], engine, prune)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	out := make([]rs.Vertex, len(p))
+	for i, v := range p {
+		out[i] = b.inv[v]
+	}
+	return out, d, st, nil
+}
+
+// PathFromDistances accepts a distance vector in original ids (what the
+// serving cache above this layer stores), permutes it into stored ids
+// for the inner reconstruction, and maps the path back. The O(n)
+// permute is far cheaper than the solve it replaces.
+func (b *remapBackend) PathFromDistances(src, dst rs.Vertex, dist []float64) ([]rs.Vertex, float64, error) {
+	vr, ok := b.inner.(VectorRouter)
+	if !ok {
+		return nil, 0, fmt.Errorf("server: backend does not support vector routing")
+	}
+	if err := b.checkVertex(src); err != nil {
+		return nil, 0, err
+	}
+	if err := b.checkVertex(dst); err != nil {
+		return nil, 0, err
+	}
+	if len(dist) != len(b.perm) {
+		return nil, 0, fmt.Errorf("server: %d distances for %d vertices", len(dist), len(b.perm))
+	}
+	sd := make([]float64, len(dist))
+	for stored := range sd {
+		sd[stored] = dist[b.inv[stored]]
+	}
+	p, d, err := vr.PathFromDistances(b.perm[src], b.perm[dst], sd)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]rs.Vertex, len(p))
+	for i, v := range p {
+		out[i] = b.inv[v]
+	}
+	return out, d, nil
+}
+
+func (b *remapBackend) Landmarks() int {
+	if lb, ok := b.inner.(LandmarkBackend); ok {
+		return lb.Landmarks()
+	}
+	return 0
+}
+
+// AdoptLandmark permutes a cached original-id vector into stored ids
+// before handing it to the inner solver. The cheap full/duplicate
+// checks run first so the steady state (set full) skips the O(n) copy.
+func (b *remapBackend) AdoptLandmark(src rs.Vertex, dist []float64) (bool, error) {
+	lb, ok := b.inner.(LandmarkBackend)
+	if !ok {
+		return false, nil
+	}
+	if err := b.checkVertex(src); err != nil {
+		return false, err
+	}
+	if lb.Landmarks() >= rs.MaxLandmarks || len(dist) != len(b.perm) {
+		return false, nil
+	}
+	sd := make([]float64, len(dist))
+	for stored := range sd {
+		sd[stored] = dist[b.inv[stored]]
+	}
+	return lb.AdoptLandmark(b.perm[src], sd)
+}
+
 // NewSolverEntry wraps a preprocessed solver as a registry entry,
 // deriving the metadata from the preprocessing bundle.
 func NewSolverEntry(name string, solver *rs.Solver, opt rs.Options, source string, prepTime time.Duration) *Entry {
@@ -282,6 +420,10 @@ type GraphConfig struct {
 	Heuristic string  `json:"heuristic,omitempty"`
 	Engine    string  `json:"engine,omitempty"`
 	Delta     float64 `json:"delta,omitempty"`
+	// Landmarks builds k ALT landmark vectors (farthest-point selection)
+	// at load time, enabling goal-directed route pruning. Rejected when
+	// the source is a snapshot that already carries persisted landmarks.
+	Landmarks int `json:"landmarks,omitempty"`
 }
 
 // ParseGraphSpec parses the -graph flag form
@@ -331,6 +473,8 @@ func ParseGraphSpec(spec string) (GraphConfig, error) {
 			cfg.Engine = v
 		case "delta":
 			cfg.Delta, err = strconv.ParseFloat(v, 64)
+		case "landmarks":
+			cfg.Landmarks, err = strconv.Atoi(v)
 		default:
 			return cfg, fmt.Errorf("server: graph spec %q: unknown key %q", spec, k)
 		}
@@ -365,6 +509,9 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 	// preprocessing (whose Options validation would catch it).
 	if cfg.Delta < 0 || math.IsNaN(cfg.Delta) {
 		return nil, fmt.Errorf("server: graph %q: delta %v must be >= 0 (0 derives a default)", cfg.Name, cfg.Delta)
+	}
+	if cfg.Landmarks < 0 || cfg.Landmarks > rs.MaxLandmarks {
+		return nil, fmt.Errorf("server: graph %q: landmarks %d out of range [0,%d]", cfg.Name, cfg.Landmarks, rs.MaxLandmarks)
 	}
 
 	opt := rs.Options{Rho: cfg.Rho, K: cfg.K, Delta: cfg.Delta}
@@ -418,6 +565,9 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 		if st != nil {
 			entry.Info.SnapshotBytes = st.Size()
 		}
+		if err := applyLandmarks(entry, solver, cfg); err != nil {
+			return nil, err
+		}
 		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 		return entry, nil
 
@@ -461,6 +611,9 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 		}
 		entry := NewSolverEntry(cfg.Name, solver, opt.WithDefaults(), "file:"+cfg.File, time.Since(prep))
 		entry.Info.Format = format.String()
+		if err := applyLandmarks(entry, solver, cfg); err != nil {
+			return nil, err
+		}
 		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 		return entry, nil
 
@@ -484,6 +637,9 @@ func BuildEntry(cfg GraphConfig) (*Entry, error) {
 		source := fmt.Sprintf("gen:%s,n=%d,seed=%d", cfg.Gen, n, cfg.Seed)
 		entry := NewSolverEntry(cfg.Name, solver, opt.WithDefaults(), source, time.Since(prep))
 		entry.Info.Format = "gen"
+		if err := applyLandmarks(entry, solver, cfg); err != nil {
+			return nil, err
+		}
 		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 		return entry, nil
 	}
@@ -514,6 +670,9 @@ func buildFromSnapshot(cfg GraphConfig, opt rs.Options, snap *rs.Snapshot, size 
 		entry.Info.RadiiSource = RadiiFromSnapshot
 		entry.Info.SnapshotBytes = size
 		applySnapshotPerm(entry, snap)
+		if err := applyLandmarks(entry, solver, cfg); err != nil {
+			return nil, err
+		}
 		entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 		return entry, nil
 	}
@@ -530,8 +689,29 @@ func buildFromSnapshot(cfg GraphConfig, opt rs.Options, snap *rs.Snapshot, size 
 	entry.Info.Format = "snapshot"
 	entry.Info.SnapshotBytes = size
 	applySnapshotPerm(entry, snap)
+	if err := applyLandmarks(entry, solver, cfg); err != nil {
+		return nil, err
+	}
 	entry.Info.ColdStartMillis = time.Since(start).Milliseconds()
 	return entry, nil
+}
+
+// applyLandmarks builds the configured landmark set once the solver is
+// query-ready (selection solves run on the final metric) and records
+// the live count in the entry metadata. A snapshot that already
+// restored persisted landmarks rejects the knob — rebuilding would
+// silently discard the packed vectors.
+func applyLandmarks(entry *Entry, solver *rs.Solver, cfg GraphConfig) error {
+	if cfg.Landmarks > 0 {
+		if solver.Landmarks() > 0 {
+			return fmt.Errorf("server: graph %q: %d landmarks are baked into the snapshot; landmarks= does not apply", cfg.Name, solver.Landmarks())
+		}
+		if _, err := solver.BuildLandmarks(cfg.Landmarks, rs.LandmarksFarthest); err != nil {
+			return fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+		}
+	}
+	entry.Info.Landmarks = solver.Landmarks()
+	return nil
 }
 
 // applySnapshotPerm wraps a snapshot-built entry's backend with the

@@ -48,18 +48,24 @@ type Config struct {
 	// per request with endpoint, status and latency) and per-solve logs
 	// (engine, step counts, duration).
 	Logger *slog.Logger
+	// AutoLandmarks promotes freshly cached distance vectors into each
+	// graph's ALT landmark set (until it is full), so the serving cache
+	// doubles as a goal-direction index: hot sources sharpen every later
+	// route query's pruning for free.
+	AutoLandmarks bool
 }
 
 // Server serves shortest-path queries over a Registry. Create with New,
 // mount via Handler.
 type Server struct {
-	registry *Registry
-	cache    *distCache
-	flight   *flightGroup
-	pool     *solvePool
-	metrics  *serverMetrics
-	logger   *slog.Logger
-	start    time.Time
+	registry      *Registry
+	cache         *distCache
+	flight        *flightGroup
+	pool          *solvePool
+	metrics       *serverMetrics
+	logger        *slog.Logger
+	autoLandmarks bool
+	start         time.Time
 }
 
 // New builds a server over reg.
@@ -69,12 +75,13 @@ func New(reg *Registry, cfg Config) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		registry: reg,
-		cache:    newDistCache(cfg.CacheBytes),
-		flight:   newFlightGroup(),
-		pool:     newSolvePool(workers),
-		logger:   cfg.Logger,
-		start:    time.Now(),
+		registry:      reg,
+		cache:         newDistCache(cfg.CacheBytes),
+		flight:        newFlightGroup(),
+		pool:          newSolvePool(workers),
+		logger:        cfg.Logger,
+		autoLandmarks: cfg.AutoLandmarks,
+		start:         time.Now(),
 	}
 	s.metrics = newServerMetrics(s)
 	return s
@@ -198,12 +205,39 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine 
 		s.metrics.observeSolve(e.Name, st, dur)
 		s.logSolve(e.Name, src, st, dur)
 		s.cache.Add(key, d)
+		s.maybeAdoptLandmark(e, src, d)
 		return d, nil
 	})
 	if joined {
 		s.metrics.coalesced.Inc()
 	}
 	return d, false, err
+}
+
+// maybeAdoptLandmark promotes a freshly solved distance vector into the
+// graph's ALT landmark set when Config.AutoLandmarks is on — the cache
+// write doubling as goal-direction index maintenance. Adoption copies
+// the vector, so sharing d with the cache and waiters stays safe.
+// Skipped silently when the set is full, src is already a landmark, or
+// the backend has no landmark support.
+func (s *Server) maybeAdoptLandmark(e *Entry, src rs.Vertex, dist []float64) {
+	if !s.autoLandmarks {
+		return
+	}
+	lb, ok := e.Backend.(LandmarkBackend)
+	if !ok {
+		return
+	}
+	adopted, err := lb.AdoptLandmark(src, dist)
+	if err != nil {
+		if s.logger != nil {
+			s.logger.Warn("landmark adoption failed", "graph", e.Name, "source", int64(src), "err", err.Error())
+		}
+		return
+	}
+	if adopted {
+		s.metrics.landmarksAdopted.Inc()
+	}
 }
 
 // logSolve emits one structured log line per executed solve (cache hits
@@ -263,6 +297,12 @@ type routeResponse struct {
 	Distance float64 `json:"distance"` // -1 when unreachable
 	Hops     int     `json:"hops"`
 	Path     []int64 `json:"path,omitempty"`
+	// Cached reports the route was reconstructed from a cached full
+	// distance vector — no solve ran and no solve slot was held.
+	Cached bool `json:"cached,omitempty"`
+	// Pruned counts relaxation candidates skipped by goal-directed
+	// landmark pruning during this route's solve.
+	Pruned int64 `json:"pruned,omitempty"`
 }
 
 type batchRequest struct {
@@ -292,6 +332,11 @@ func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
 	infos := make([]GraphInfo, len(entries))
 	for i, e := range entries {
 		infos[i] = e.Info
+		// Landmark sets grow after load (cache adoption); report the
+		// live count, not the snapshot taken at build time.
+		if lb, ok := e.Backend.(LandmarkBackend); ok {
+			infos[i].Landmarks = lb.Landmarks()
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
 }
@@ -418,6 +463,28 @@ func (s *Server) shapeDistances(resp *distancesResponse, dist []float64, topK in
 	}
 }
 
+// pruneParam parses the optional ?prune= opt-out for /v1/route.
+// Goal-directed landmark pruning defaults to on (it never changes the
+// answer, only the work); "0" or "false" disables it for A/B
+// measurement. Anything else is a client error.
+func pruneParam(r *http.Request) (bool, error) {
+	switch r.URL.Query().Get("prune") {
+	case "", "1", "true":
+		return true, nil
+	case "0", "false":
+		return false, nil
+	default:
+		return false, fmt.Errorf("bad prune parameter %q (want 0, 1, true, false)", r.URL.Query().Get("prune"))
+	}
+}
+
+// handleRoute answers a point-to-point query, cheapest strategy first:
+//
+//  1. A cached full distance vector for the source answers the route by
+//     tight-edge reconstruction alone — no solve, no solve slot.
+//  2. Otherwise an early-terminated solve runs under the pool, with
+//     goal-directed landmark pruning unless ?prune=0 opts out.
+//  3. A backend without route support falls back to plain Path.
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	var req routeRequest
 	if !decodeBody(w, r, &req) {
@@ -436,18 +503,62 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", perr)
 		return
 	}
+	prune, perr := pruneParam(r)
+	if perr != nil {
+		s.fail(w, http.StatusBadRequest, "%v", perr)
+		return
+	}
+	dst := rs.Vertex(req.Target)
+	resp := routeResponse{Graph: e.Name, Source: req.Source, Target: req.Target}
+
+	// Cache-first: a full vector for this source already holds every
+	// distance, and reconstruction is a cheap backward walk — answering
+	// here keeps the solve pool free for real misses.
+	if vr, ok := e.Backend.(VectorRouter); ok {
+		if dist, hit := s.cache.Get(cacheKey{graph: e.Name, src: int32(src)}); hit {
+			path, d, err := vr.PathFromDistances(src, dst, dist)
+			if err == nil {
+				s.metrics.routeCacheHits.Inc()
+				resp.Cached = true
+				writeRoute(w, resp, path, d)
+				return
+			}
+			// An unusable cached vector falls through to a real solve
+			// rather than failing the request.
+		}
+	}
+
 	if err := s.pool.acquire(r.Context()); err != nil {
 		s.fail(w, http.StatusServiceUnavailable, "route: %v", err)
 		return
 	}
-	path, d, err := e.Backend.Path(src, rs.Vertex(req.Target), eng)
+	var (
+		path []rs.Vertex
+		d    float64
+		err  error
+	)
+	if rb, ok := e.Backend.(RoutingBackend); ok {
+		var st rs.Stats
+		path, d, st, err = rb.Route(src, dst, eng, prune)
+		if st.Pruned > 0 {
+			s.metrics.routePruned.Add(st.Pruned)
+			resp.Pruned = st.Pruned
+		}
+	} else {
+		path, d, err = e.Backend.Path(src, dst, eng)
+	}
 	s.pool.release()
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "route: %v", err)
 		return
 	}
 	s.metrics.routeSolves.Inc()
-	resp := routeResponse{Graph: e.Name, Source: req.Source, Target: req.Target, Distance: finite(d)}
+	writeRoute(w, resp, path, d)
+}
+
+// writeRoute finishes a route response from the computed path.
+func writeRoute(w http.ResponseWriter, resp routeResponse, path []rs.Vertex, d float64) {
+	resp.Distance = finite(d)
 	if len(path) > 0 {
 		resp.Hops = len(path) - 1
 		resp.Path = make([]int64, len(path))

@@ -35,16 +35,25 @@ type GraphLoadStats struct {
 // read from the same metrics registry GET /metrics exposes — the two
 // endpoints are views over one set of counters.
 type StatsSnapshot struct {
-	Requests      map[string]int64 `json:"requests"`
-	Solves        int64            `json:"solves"`
-	RouteSolves   int64            `json:"routeSolves"`
-	Coalesced     int64            `json:"coalesced"`
-	BatchSources  int64            `json:"batchSources"`
-	Errors        int64            `json:"errors"`
-	Cache         CacheStats       `json:"cache"`
-	Pool          PoolStats        `json:"pool"`
-	Flight        FlightStats      `json:"flight"`
-	SolvesByGraph map[string]int64 `json:"solvesByGraph"`
+	Requests    map[string]int64 `json:"requests"`
+	Solves      int64            `json:"solves"`
+	RouteSolves int64            `json:"routeSolves"`
+	// RouteCacheHits counts route queries answered from a cached full
+	// distance vector without any solve.
+	RouteCacheHits int64 `json:"routeCacheHits"`
+	// RoutePruned totals relaxation candidates skipped by goal-directed
+	// landmark pruning across route solves.
+	RoutePruned int64 `json:"routePruned"`
+	// LandmarksAdopted counts cached distance vectors promoted into ALT
+	// landmark sets (Config.AutoLandmarks).
+	LandmarksAdopted int64            `json:"landmarksAdopted"`
+	Coalesced        int64            `json:"coalesced"`
+	BatchSources     int64            `json:"batchSources"`
+	Errors           int64            `json:"errors"`
+	Cache            CacheStats       `json:"cache"`
+	Pool             PoolStats        `json:"pool"`
+	Flight           FlightStats      `json:"flight"`
+	SolvesByGraph    map[string]int64 `json:"solvesByGraph"`
 	// SolvesByEngine counts full SSSP solves per engine name
 	// (sequential, parallel, flat, delta, rho) — the observable contract
 	// behind per-request ?engine= overrides.
@@ -61,12 +70,15 @@ type StatsSnapshot struct {
 func (s *Server) statsSnapshot() StatsSnapshot {
 	m := s.metrics
 	snap := StatsSnapshot{
-		Requests:     make(map[string]int64, len(endpointNames)),
-		Solves:       m.solves.Value(),
-		RouteSolves:  m.routeSolves.Value(),
-		Coalesced:    m.coalesced.Value(),
-		BatchSources: m.batchSources.Value(),
-		Errors:       m.errorsTotal(),
+		Requests:         make(map[string]int64, len(endpointNames)),
+		Solves:           m.solves.Value(),
+		RouteSolves:      m.routeSolves.Value(),
+		RouteCacheHits:   m.routeCacheHits.Value(),
+		RoutePruned:      m.routePruned.Value(),
+		LandmarksAdopted: m.landmarksAdopted.Value(),
+		Coalesced:        m.coalesced.Value(),
+		BatchSources:     m.batchSources.Value(),
+		Errors:           m.errorsTotal(),
 		Frontier: FrontierStats{
 			Pushes:    m.frontierOps.With("pushes").Value(),
 			Batches:   m.frontierOps.With("batches").Value(),

@@ -27,10 +27,24 @@ func (s *Solver) Tree(src Vertex) (dist []float64, parent []Vertex, stats Stats,
 // Distance answers a point-to-point query with early termination: the
 // solve stops as soon as dst is settled (Theorem 3.1 guarantees settled
 // distances are exact), which on large graphs explores only the ball of
-// radius d(src, dst). It returns +Inf when dst is unreachable.
+// radius d(src, dst). When the solver has landmarks the solve is
+// additionally goal-directed (see Route); the distance is identical
+// either way. It returns +Inf when dst is unreachable.
 func (s *Solver) Distance(src, dst Vertex) (float64, Stats, error) {
+	kind := core.KindSequential
+	params := s.params
+	n := s.pre.Graph.NumVertices()
+	if src >= 0 && int(src) < n && dst >= 0 && int(dst) < n {
+		if lm := s.lm.Load(); lm.K() > 0 {
+			if math.IsInf(lm.LowerBound(src, dst), 1) {
+				return math.Inf(1), Stats{Engine: kind.String()}, nil
+			}
+			params.Bound = lm.BoundTo(dst)
+			params.UpperBound = lm.Estimate(src, dst)
+		}
+	}
 	ws := s.getWS()
-	d, _, st, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, core.KindSequential, s.params, ws)
+	d, _, st, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, kind, params, ws)
 	s.wsPool.Put(ws)
 	return d, st, err
 }
@@ -50,39 +64,35 @@ func (s *Solver) Path(src, dst Vertex) ([]Vertex, float64, error) {
 // the default early-terminating sequential engine). Every engine
 // supports early termination — the settled-set-is-exact invariant is
 // strategy-independent — so the route and its length are identical
-// across engines; only the exploration order differs.
+// across engines; only the exploration order differs. When the solver
+// has landmarks the solve is goal-directed (Route with pruning on);
+// pass prune=false to Route to opt out.
 func (s *Solver) PathWith(src, dst Vertex, engine Engine) ([]Vertex, float64, error) {
-	kind := core.KindSequential
-	if engine != EngineAuto {
-		var err error
-		if kind, err = engineKind(engine); err != nil {
-			return nil, 0, err
-		}
-	}
-	ws := s.getWS()
-	d, dist, _, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, kind, s.params, ws)
-	s.wsPool.Put(ws)
-	if err != nil {
-		return nil, 0, err
-	}
-	if math.IsInf(d, 1) {
-		return nil, d, nil
-	}
+	path, d, _, err := s.Route(src, dst, engine, true)
+	return path, d, err
+}
+
+// walkBack reconstructs the path src..dst by walking tight edges of a
+// distance vector backward from dst. All vertices on a shortest path
+// to dst are settled by a target solve (their distances are <= d(dst)
+// and exact — goal-directed pruning never skips a relaxation on such a
+// path), and the original graph realizes the same metric as the
+// augmented one, so a tight predecessor always exists in it and the
+// route uses only real (non-shortcut) edges whenever the bundle
+// retains the original graph. Ties break toward the smaller distance,
+// then the smaller vertex id, so the route is deterministic.
+func (s *Solver) walkBack(dist []float64, src, dst Vertex) ([]Vertex, error) {
 	walk := s.pre.Graph
 	if s.pre.Original != nil {
 		walk = s.pre.Original
 	}
-	// Walk back along tight edges of the partial distance vector. All
-	// vertices on a shortest path to dst are settled (their distances
-	// are <= d and exact), and the original graph realizes the same
-	// metric, so a tight predecessor always exists in it.
 	path := []Vertex{dst}
 	cur := dst
 	for cur != src {
 		if len(path) > walk.NumVertices() {
 			// Zero-weight cycles could make the tight-edge walk
 			// oscillate; a simple path never exceeds n vertices.
-			return nil, 0, fmt.Errorf("radiusstep: path reconstruction cycled at %d (zero-weight cycle?)", cur)
+			return nil, fmt.Errorf("radiusstep: path reconstruction cycled at %d (zero-weight cycle?)", cur)
 		}
 		adj, ws := walk.Neighbors(cur)
 		next := Vertex(-1)
@@ -94,7 +104,7 @@ func (s *Solver) PathWith(src, dst Vertex, engine Engine) ([]Vertex, float64, er
 			}
 		}
 		if next == -1 {
-			return nil, 0, fmt.Errorf("radiusstep: internal: no tight predecessor at %d", cur)
+			return nil, fmt.Errorf("radiusstep: internal: no tight predecessor at %d", cur)
 		}
 		path = append(path, next)
 		cur = next
@@ -102,7 +112,7 @@ func (s *Solver) PathWith(src, dst Vertex, engine Engine) ([]Vertex, float64, er
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
 	}
-	return path, d, nil
+	return path, nil
 }
 
 // PathTo reconstructs the vertex sequence from a Tree parent array.

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"radiusstep/internal/core"
 	"radiusstep/internal/graph"
+	"radiusstep/internal/landmark"
 	"radiusstep/internal/parallel"
 	"radiusstep/internal/preprocess"
 	"radiusstep/internal/trace"
@@ -290,6 +292,14 @@ type Solver struct {
 	engine Engine
 	params core.Params
 	wsPool sync.Pool // of *core.Workspace
+
+	// lm is the ALT landmark set serving goal-directed Route queries;
+	// nil until landmarks are built (BuildLandmarks), adopted
+	// (AdoptLandmark) or restored from a snapshot. Published by atomic
+	// pointer: readers Load once per query, writers copy-on-write under
+	// lmMu (see landmarks.go).
+	lm   atomic.Pointer[landmark.Set]
+	lmMu sync.Mutex
 }
 
 // NewSolver preprocesses g per opt and returns a query object. The
@@ -405,11 +415,19 @@ func SolverFromSnapshot(s *Snapshot, engine Engine) (*Solver, error) {
 	if engine < EngineAuto || engine > EngineRho {
 		return nil, fmt.Errorf("radiusstep: unknown engine %d", int(engine))
 	}
-	return newSolver(&Preprocessed{
+	sol := newSolver(&Preprocessed{
 		Graph:    s.G,
 		Original: s.Original,
 		Radii:    s.Radii,
-	}, engine, core.Params{Rho: s.Rho}), nil
+	}, engine, core.Params{Rho: s.Rho})
+	if len(s.Landmarks) > 0 {
+		// Restore persisted ALT landmark vectors (graphpack -landmarks)
+		// so the loaded solver serves goal-directed routes immediately.
+		if err := sol.SetLandmarkData(s.Landmarks, s.LandmarkDist); err != nil {
+			return nil, fmt.Errorf("radiusstep: snapshot landmarks: %w", err)
+		}
+	}
+	return sol, nil
 }
 
 // autoThreshold: below this many arcs the sequential engine wins.
