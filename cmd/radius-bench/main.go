@@ -71,6 +71,8 @@ func main() {
 	threshold := flag.Float64("compare-threshold", 0.25, "compare mode: maximum tolerated p50 regression (0.25 = 25%)")
 	allocThreshold := flag.Float64("compare-alloc-threshold", 2.0, "compare mode: maximum tolerated allocs-per-solve growth factor (2 = doubled; <= 0 disables)")
 	procs := flag.String("procs", "", "scaling mode: comma list of GOMAXPROCS values (e.g. 1,2,4,8); re-runs the engine matrix at each and reports speedup columns (JSON to stdout, table to stderr)")
+	minSpeedup := flag.Float64("min-speedup", 0, "scaling mode: require every engine's p50 speedup at the last procs value to reach this factor (1.0 = monotonicity; 0 disables); skipped with a warning when the host has fewer CPUs. In compare mode against a scaling baseline, overrides the default 1.8x gate")
+	scalingBaseline := flag.String("scaling-baseline", "", "measure the default multi-proc workload set (50k + >=1M rmat/grid2d at procs 1,2,4,8) and write the committable scaling baseline JSON to this file")
 	traceOut := flag.String("trace", "", "matrix mode: write one solve timeline per engine as JSON to this file")
 	routes := flag.Bool("routes", false, "route mode: per-engine point-to-point p50 latency with and without ALT landmark pruning; asserts pruned distances byte-identical (JSON to stdout, table to stderr)")
 	pairs := flag.Int("pairs", 25, "route mode: source/target pairs measured per engine")
@@ -94,10 +96,47 @@ func main() {
 			}
 			fmt.Printf("# baseline: %s\n", path)
 		}
+		// Baselines come in two shapes: the engine-matrix trajectory and
+		// the multi-proc scaling envelope (kind == "scaling"). Dispatch on
+		// the committed file, so `-compare latest` keeps working as the
+		// trajectory alternates shapes.
+		if _, isScaling, err := bench.ReadScalingBaseline(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		} else if isScaling {
+			if err := bench.CompareScaling(os.Stdout, path, *minSpeedup); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := bench.CompareEngineMatrix(os.Stdout, path, *threshold, *allocThreshold); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *scalingBaseline != "" {
+		b, err := bench.MeasureScalingSet(bench.DefaultScalingConfigs(), os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*scalingBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(b)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "scaling baseline: write %s: %v%v\n", *scalingBaseline, werr, cerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# scaling baseline (%d workloads, hostProcs=%d) written to %s\n",
+			len(b.Workloads), b.HostProcs, *scalingBaseline)
 		return
 	}
 	if *engines != "" || *procs != "" || *routes {
@@ -147,6 +186,12 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprint(os.Stderr, bench.FormatScalingTable(report))
+			if *minSpeedup > 0 {
+				if err := bench.GateScalingReport(os.Stderr, report, *minSpeedup); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
 			return
 		}
 		if err := bench.RunEngineMatrix(os.Stdout, mcfg); err != nil {

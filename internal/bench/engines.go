@@ -42,6 +42,7 @@ type EngineBenchRow struct {
 	BytesPerSolve     float64 `json:"bytesPerSolve"`
 	Steps             int     `json:"steps"`
 	Substeps          int     `json:"substeps"`
+	QuotaAdjustments  int     `json:"quotaAdjustments,omitempty"`
 	Relaxations       int64   `json:"relaxations"`
 	FrontierPushes    int64   `json:"frontierPushes,omitempty"`
 	FrontierBatches   int64   `json:"frontierBatches,omitempty"`
@@ -161,6 +162,7 @@ func MeasureEngineMatrix(cfg EngineMatrixConfig) (*EngineMatrixReport, error) {
 			BytesPerSolve:     float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Trials),
 			Steps:             lastStats.Steps,
 			Substeps:          lastStats.Substeps,
+			QuotaAdjustments:  lastStats.QuotaAdjustments,
 			Relaxations:       lastStats.Relaxations,
 			FrontierPushes:    lastStats.Frontier.Pushes,
 			FrontierBatches:   lastStats.Frontier.Batches,

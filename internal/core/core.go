@@ -73,6 +73,12 @@ type Stats struct {
 	EdgesScanned int64
 	// MaxStep is the largest number of vertices settled in one step.
 	MaxStep int
+	// QuotaAdjustments counts adaptive-ρ quota growth events (KindRho
+	// without Params.RhoFixed): each is one doubling of the extraction
+	// quota toward the ~n/steps settling goal. Zero for every other
+	// engine and for fixed-ρ solves, so the step-count reduction the
+	// adaptive rule buys is auditable per solve.
+	QuotaAdjustments int
 	// Frontier reports the ordered-frontier substrate's operation
 	// counters for the engines built on internal/frontier (parallel,
 	// rho); zero for the other engines.
@@ -84,6 +90,9 @@ func (s Stats) String() string {
 		s.Engine, s.Steps, s.Substeps, s.MaxSubsteps, s.Relaxations, s.EdgesScanned, s.MaxStep)
 	if s.Pruned > 0 {
 		out += fmt.Sprintf(" pruned=%d", s.Pruned)
+	}
+	if s.QuotaAdjustments > 0 {
+		out += fmt.Sprintf(" quotaadj=%d", s.QuotaAdjustments)
 	}
 	if s.Frontier.Batches > 0 {
 		out += fmt.Sprintf(" frontier(batches=%d merges=%d extracted=%d stale=%d)",

@@ -6,6 +6,14 @@ import (
 	"radiusstep/internal/parallel"
 )
 
+// rhoStepTarget is the adaptive quota's step-count goal: grow ρ until a
+// step settles about n/rhoStepTarget vertices, so a full solve lands
+// near rhoStepTarget steps. 128 keeps steps large enough to amortize
+// per-step frontier maintenance (the 1069-step pathology of a fixed
+// ρ=32 on 50k vertices) while preserving enough steps that the priority
+// ordering still prunes work the way ρ-stepping intends.
+const rhoStepTarget = 128
+
 // rhoStepper is the ρ-stepping fringe (Dong et al.) on the flat
 // frontier substrate: one frontier keyed by tentative distance, with
 // each step's threshold answered by the substrate's rank query —
@@ -13,10 +21,23 @@ import (
 // Extraction, like the parallel engine's, is a binary-searched prefix
 // split of the sorted runs, so a step touches the ρ-ish vertices it
 // settles rather than the whole fringe.
+//
+// Unless Params.RhoFixed pins it, the quota is adaptive in the spirit
+// of Dong et al.'s ρ tuning: a step that settles fewer vertices than
+// the ~n/rhoStepTarget goal doubles the quota (capped at the goal) for
+// the next step. The rule is a pure function of the solve's own step
+// history, so repeated solves of the same query remain deterministic —
+// identical step counts and byte-identical distances — and the settled
+// set stays exact for any quota (distance exactness never depends on ρ).
 type rhoStepper struct {
-	ws    *Workspace
-	f     *frontier.F
-	quota int
+	ws     *Workspace
+	f      *frontier.F
+	quota  int  // current quota; grows per the adaptive rule
+	quota0 int  // configured quota (Params.Rho), restored each solve
+	fixed  bool // Params.RhoFixed: never grow
+
+	stepSettled int // vertices settled by the step in progress (-1: none yet)
+	adjusts     int // quota growth events this solve (Stats.QuotaAdjustments)
 }
 
 func (s *rhoStepper) reset() {
@@ -24,6 +45,9 @@ func (s *rhoStepper) reset() {
 		s.f = frontier.New()
 	}
 	s.f.Reset(len(s.ws.bits))
+	s.quota = s.quota0
+	s.stepSettled = -1
+	s.adjusts = 0
 }
 
 func (s *rhoStepper) seed(vs []graph.V) {
@@ -38,6 +62,24 @@ func (s *rhoStepper) target() (float64, graph.V, bool) {
 	if m == 0 {
 		return 0, -1, false
 	}
+	if !s.fixed && s.stepSettled >= 0 {
+		// Step economics: aim for ~n/rhoStepTarget settled per step.
+		// A step that fell short doubles the quota toward that goal, so
+		// a solve stuck settling ρ-sized crumbs converges to the goal in
+		// O(log) steps instead of paying per-step overhead O(n/ρ) times.
+		want := len(s.ws.bits) / rhoStepTarget
+		if want < s.quota0 {
+			want = s.quota0
+		}
+		if s.stepSettled < want && s.quota < want {
+			s.quota *= 2
+			if s.quota > want {
+				s.quota = want
+			}
+			s.adjusts++
+		}
+	}
+	s.stepSettled = 0
 	k := s.quota
 	if k > m {
 		k = m
@@ -49,12 +91,20 @@ func (s *rhoStepper) target() (float64, graph.V, bool) {
 }
 
 func (s *rhoStepper) collect(di float64, dst []graph.V) []graph.V {
-	return s.f.ExtractBelow(di, dst)
+	out := s.f.ExtractBelow(di, dst)
+	s.stepSettled += len(out)
+	return out
 }
 
 func (s *rhoStepper) push(v graph.V, d float64) { s.f.Push(v, d) }
 
-func (s *rhoStepper) settle(v graph.V) { s.f.Drop(v) }
+// settle covers the vertices that join the step's active set during its
+// substeps (collect counted the initial extraction); together they equal
+// the step's final settled count, the adaptive rule's input.
+func (s *rhoStepper) settle(v graph.V) {
+	s.stepSettled++
+	s.f.Drop(v)
+}
 
 // commit defers to the next query's self-commit, pooling a step's
 // substep batches into one sort (see frontierStepper.commit).

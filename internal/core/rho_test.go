@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+)
+
+// TestAdaptiveRhoReducesSteps pins the adaptive quota's step economics:
+// on a graph large enough that a fixed small ρ pathologically crumbles
+// the solve into hundreds of steps, the adaptive rule must (1) cut the
+// step count by at least 2x, (2) report its growth events in
+// Stats.QuotaAdjustments, and (3) keep the distance vector byte-identical
+// to the fixed-ρ solve — exactness never depends on the quota.
+func TestAdaptiveRhoReducesSteps(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(120, 120), 1, 100, 5)
+	src := graph.V(0)
+
+	fixed, stFixed, err := SolveKind(g, nil, src, KindRho, Params{Rho: 32, RhoFixed: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFixed.QuotaAdjustments != 0 {
+		t.Fatalf("fixed-ρ solve reported %d quota adjustments, want 0", stFixed.QuotaAdjustments)
+	}
+
+	adaptive, stAdaptive, err := SolveKind(g, nil, src, KindRho, Params{Rho: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stAdaptive.QuotaAdjustments == 0 {
+		t.Fatal("adaptive-ρ solve reported 0 quota adjustments; the rule never fired")
+	}
+	if stAdaptive.Steps*2 > stFixed.Steps {
+		t.Fatalf("adaptive ρ took %d steps vs fixed %d, want at least a 2x cut",
+			stAdaptive.Steps, stFixed.Steps)
+	}
+	for v := range adaptive {
+		if math.Float64bits(adaptive[v]) != math.Float64bits(fixed[v]) {
+			t.Fatalf("dist[%d] = %v adaptive vs %v fixed; adaptation changed distances",
+				v, adaptive[v], fixed[v])
+		}
+	}
+	t.Logf("fixed ρ=32: %d steps; adaptive: %d steps, %d quota adjustments",
+		stFixed.Steps, stAdaptive.Steps, stAdaptive.QuotaAdjustments)
+}
+
+// TestAdaptiveRhoDeterministic: the adaptive rule is a pure function of
+// the solve's own step history, so re-running the same query (including
+// through a reused workspace) must reproduce the same step count and
+// adjustment count.
+func TestAdaptiveRhoDeterministic(t *testing.T) {
+	g := gen.WithUniformIntWeights(gen.Grid2D(60, 60), 1, 50, 9)
+	ws := NewWorkspace()
+	_, st1, err := SolveKind(g, nil, 0, KindRho, Params{Rho: 16}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := SolveKind(g, nil, 0, KindRho, Params{Rho: 16}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Steps != st2.Steps || st1.QuotaAdjustments != st2.QuotaAdjustments {
+		t.Fatalf("re-solve diverged: steps %d vs %d, adjustments %d vs %d",
+			st1.Steps, st2.Steps, st1.QuotaAdjustments, st2.QuotaAdjustments)
+	}
+}
+
+// TestWorkerBufPadded asserts the per-worker relax buffers cannot
+// false-share: each buffer header must occupy a full cache line.
+func TestWorkerBufPadded(t *testing.T) {
+	if s := unsafe.Sizeof(workerBuf{}); s%64 != 0 {
+		t.Fatalf("workerBuf is %d bytes, want a multiple of 64", s)
+	}
+}

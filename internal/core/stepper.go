@@ -67,7 +67,14 @@ type Params struct {
 	Delta float64
 	// Rho is the ρ-stepping extraction quota (KindRho): each step
 	// settles (at least) the ρ closest fringe vertices. <= 0 selects 32.
+	// By default Rho is only the STARTING quota: an adaptive rule grows
+	// it when steps settle too few vertices (see rhoStepper), cutting
+	// step counts on large fringes while keeping distances exact.
 	Rho int
+	// RhoFixed pins the ρ quota to Rho for the whole solve, disabling
+	// the adaptive growth rule. Step/substep counts then match the
+	// classic fixed-ρ strategy; distances are byte-identical either way.
+	RhoFixed bool
 	// Relax selects the substep traversal: RelaxAdaptive (default)
 	// switches between push and pull per substep; RelaxPush/RelaxPull
 	// force one direction (distances are identical either way — the
@@ -205,10 +212,11 @@ func (ws *Workspace) stepperFor(kind EngineKind, p Params) stepper {
 			ws.rh = &rhoStepper{ws: ws}
 		}
 		r := ws.rh
-		r.quota = p.Rho
-		if r.quota <= 0 {
-			r.quota = defaultRhoQuota
+		r.quota0 = p.Rho
+		if r.quota0 <= 0 {
+			r.quota0 = defaultRhoQuota
 		}
+		r.fixed = p.RhoFixed
 		return r
 	default: // the flat-fringe family: flat, delta
 		if ws.fl == nil {
@@ -456,6 +464,9 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	ws.active, ws.frontier, ws.next = active[:0], frontier[:0], next[:0]
 	if fb, ok := sp.(frontierBacked); ok {
 		st.Frontier = fb.frontierOps()
+	}
+	if r, ok := sp.(*rhoStepper); ok {
+		st.QuotaAdjustments = r.adjusts
 	}
 	if rec != nil {
 		rec.End(st.Steps, st.Substeps, st.Relaxations, trace.FrontierPhases{

@@ -37,14 +37,37 @@ const (
 // the O(n) settled-check scan).
 const pullAtomicFactor = 3
 
-// arcGrain is the arc-space chunk size for edge-balanced push: workers
-// claim ~arcGrain consecutive arcs at a time, so a skewed frontier (one
-// hub plus many leaves) still splits evenly — the hub's arc range is
-// shared between workers instead of serializing on one.
-const arcGrain = 2048
+// Claim-grain bounds for the edge-balanced push and the parallel pull.
+// Workers claim consecutive chunks of arc (or vertex) space, so a skewed
+// frontier (one hub plus many leaves) still splits evenly — the hub's
+// arc range is shared between workers instead of serializing on one.
+// The chunk size itself is adaptive (see adaptiveGrain): a fixed grain
+// either starves balance on small substeps (too few chunks to share) or
+// drowns large ones in claim traffic (one atomic add per chunk).
+const (
+	arcGrainMin = 512
+	arcGrainMax = 8192
 
-// pullGrain is the vertex-space chunk size for parallel pull sweeps.
-const pullGrain = 512
+	pullGrainMin = 512
+	pullGrainMax = 4096
+)
+
+// adaptiveGrain sizes a dynamic claim chunk for total work items split
+// across the current worker count: aim for ~8 chunks per worker — enough
+// slack for dynamic balancing when per-chunk costs vary, few enough that
+// claim-counter traffic stays negligible — clamped to [minG, maxG] so
+// tiny substeps keep chunks worth dispatching and huge ones don't widen
+// the straggler tail.
+func adaptiveGrain(total, minG, maxG int) int {
+	g := total / (parallel.Procs() * 8)
+	if g < minG {
+		return minG
+	}
+	if g > maxG {
+		return maxG
+	}
+	return g
+}
 
 // ubSlack widens the target-mode prune threshold by one part in 1e9.
 // Tentative distances are float path sums carrying up to ~1 ulp of
@@ -84,7 +107,7 @@ type Workspace struct {
 	snap                            []float64 // frontier-indexed distance snapshot (push)
 	pullSnap                        []float64 // vertex-indexed distance snapshot (pull)
 	degOff                          []int64   // frontier degree prefix sums (edge-balanced push)
-	parts                           [][]graph.V
+	parts                           []workerBuf
 
 	// remArcs tracks the arcs incident to not-yet-settled vertices, the
 	// denominator of the adaptive push/pull decision. Maintained by the
@@ -204,13 +227,25 @@ func sized[T any](s []T, n int) []T {
 	return make([]T, n)
 }
 
+// workerBuf is one worker's improved-vertex buffer, padded so adjacent
+// workers' slice headers sit on distinct cache lines. Workers append to
+// their buffer inside every parallel substep and write the header back
+// when the claim loop drains; with bare slice headers (24 bytes) two or
+// three workers share a line and those writebacks — plus the appends'
+// header reloads — false-share at substep frequency. The 40-byte pad
+// rounds each header up to one 64-byte line.
+type workerBuf struct {
+	buf []graph.V
+	_   [64 - 24]byte
+}
+
 // growParts makes sure ws.parts has at least p per-worker buffers,
 // PRESERVING the buffers that already exist: their grown capacity is the
 // point of pooling them, so reallocation must never drop them (append
-// keeps the old prefix and adds nil slots for the new workers).
-func (ws *Workspace) growParts(p int) [][]graph.V {
+// keeps the old prefix and adds empty slots for the new workers).
+func (ws *Workspace) growParts(p int) []workerBuf {
 	for len(ws.parts) < p {
-		ws.parts = append(ws.parts, nil)
+		ws.parts = append(ws.parts, workerBuf{})
 	}
 	return ws.parts[:p]
 }
@@ -218,11 +253,11 @@ func (ws *Workspace) growParts(p int) [][]graph.V {
 // mergeParts concatenates the per-worker buffers into ws.updated and
 // resets every buffer to length zero, so a later substep that runs fewer
 // workers can never re-merge a stale buffer from this one.
-func (ws *Workspace) mergeParts(parts [][]graph.V) []graph.V {
+func (ws *Workspace) mergeParts(parts []workerBuf) []graph.V {
 	out := ws.updated[:0]
 	for w := range parts {
-		out = append(out, parts[w]...)
-		parts[w] = parts[w][:0]
+		out = append(out, parts[w].buf...)
+		parts[w].buf = parts[w].buf[:0]
 	}
 	ws.updated = out
 	return out
@@ -268,7 +303,7 @@ func (ws *Workspace) relax(frontier []graph.V, st *Stats, seq bool, mode RelaxMo
 		// edge-balanced push partitions by, so push (the common case)
 		// pays for it only once.
 		if par {
-			totalArcs = ws.frontierDegOff(frontier)
+			totalArcs = ws.frontierDegOffSnap(frontier)
 			pull = pullAtomicFactor*totalArcs > ws.remArcs+int64(len(ws.bits))
 		}
 	}
@@ -282,23 +317,34 @@ func (ws *Workspace) relax(frontier []graph.V, st *Stats, seq bool, mode RelaxMo
 	st.PushSubsteps++
 	if par {
 		if totalArcs < 0 { // forced push: the decision never built the prefix
-			totalArcs = ws.frontierDegOff(frontier)
+			totalArcs = ws.frontierDegOffSnap(frontier)
 		}
 		return ws.pushPar(frontier, totalArcs, st)
 	}
 	return ws.pushSeq(frontier, st)
 }
 
-// frontierDegOff fills ws.degOff with the frontier's degree prefix sums
-// (degOff[i] = arcs of frontier[:i]) and returns the total arc count.
-// Idempotent for a given frontier, and cheap relative to relaxing: one
-// O(|frontier|) pass plus a scan.
-func (ws *Workspace) frontierDegOff(frontier []graph.V) int64 {
+// frontierDegOffSnap fills ws.degOff with the frontier's degree prefix
+// sums (degOff[i] = arcs of frontier[:i]) AND ws.snap with the frontier's
+// Jacobi distance snapshot, returning the total arc count. Fusing the two
+// fills into one parallel pass removes a whole fork-join barrier from
+// every parallel push substep — the degree fill and the snapshot read
+// disjoint data, and both walk the same frontier indices, so one chunk
+// claim covers both. When the adaptive decision later picks pull, the
+// snapshot fill was wasted work, but it is one float read+write per
+// frontier element against a pull sweep that scans every unsettled
+// vertex — noise, and pull substeps are the rare case.
+func (ws *Workspace) frontierDegOffSnap(frontier []graph.V) int64 {
 	degOff := sized(ws.degOff, len(frontier)+1)
 	ws.degOff = degOff
+	snap := sized(ws.snap, len(frontier))
+	ws.snap = snap
 	degOff[0] = 0
+	bits := ws.bits
 	parallel.For(len(frontier), func(i int) {
-		degOff[i+1] = int64(ws.g.Degree(frontier[i]))
+		u := frontier[i]
+		degOff[i+1] = int64(ws.g.Degree(u))
+		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[u]))
 	})
 	return parallel.InclusiveScan(degOff[1:], degOff[1:])
 }
@@ -357,28 +403,26 @@ func (ws *Workspace) pushSeq(frontier []graph.V, st *Stats) []graph.V {
 }
 
 // pushPar is the edge-balanced parallel push substep. The frontier's
-// degree prefix (ws.degOff, built by frontierDegOff; totalArcs is its
-// total) partitions the concatenated arc ranges into ~arcGrain-arc
-// chunks that workers claim dynamically, so a hub vertex's arcs split
-// across workers instead of making one worker a straggler (safe because
-// relaxation targets are claimed with atomic priority-writes, not by
-// arc ownership). Improved vertices are claimed once per substep via
-// CAS stamps into per-worker buffers.
+// degree prefix (ws.degOff) and Jacobi snapshot (ws.snap) were both
+// built by frontierDegOffSnap in one fused pass; totalArcs is the prefix
+// total. The prefix partitions the concatenated arc ranges into
+// adaptively-sized chunks that workers claim dynamically, so a hub
+// vertex's arcs split across workers instead of making one worker a
+// straggler (safe because relaxation targets are claimed with atomic
+// priority-writes, not by arc ownership). Improved vertices are claimed
+// once per substep via CAS stamps into padded per-worker buffers.
 func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []graph.V {
 	subID := ws.subID
 	parts := ws.growParts(parallel.Procs())
-	snap := sized(ws.snap, len(frontier))
-	ws.snap = snap
+	snap := ws.snap
 	bits := ws.bits
-	parallel.For(len(frontier), func(i int) {
-		snap[i] = parallel.FromBits(atomic.LoadUint64(&bits[frontier[i]]))
-	})
 	degOff := ws.degOff
 	bnd, ub := ws.bound, ws.ub
 
 	var relaxed, scanned, pruned atomic.Int64
-	parallel.WorkersGrain(int(totalArcs), arcGrain, func(w int, claim func() (int, int, bool)) {
-		local := parts[w][:0]
+	grain := adaptiveGrain(int(totalArcs), arcGrainMin, arcGrainMax)
+	parallel.WorkersGrain(int(totalArcs), grain, func(w int, claim func() (int, int, bool)) {
+		local := parts[w].buf[:0]
 		var rl, sc, pr int64
 		for {
 			alo, ahi, ok := claim()
@@ -431,7 +475,7 @@ func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []g
 				}
 			}
 		}
-		parts[w] = local
+		parts[w].buf = local
 		relaxed.Add(rl)
 		scanned.Add(sc)
 		pruned.Add(pr)
@@ -519,8 +563,9 @@ func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
 	infr := ws.infr
 	bnd, ub := ws.bound, ws.ub
 	var relaxed, scanned, pruned atomic.Int64
-	parallel.WorkersGrain(len(bits), pullGrain, func(w int, claim func() (int, int, bool)) {
-		local := parts[w][:0]
+	grain := adaptiveGrain(len(bits), pullGrainMin, pullGrainMax)
+	parallel.WorkersGrain(len(bits), grain, func(w int, claim func() (int, int, bool)) {
+		local := parts[w].buf[:0]
 		var rl, sc, pr int64
 		for {
 			lo, hi, ok := claim()
@@ -553,7 +598,7 @@ func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
 				}
 			}
 		}
-		parts[w] = local
+		parts[w].buf = local
 		relaxed.Add(rl)
 		scanned.Add(sc)
 		pruned.Add(pr)

@@ -112,6 +112,16 @@ const mergeParThreshold = 1 << 14
 // scan.
 const selectGrain = 1 << 13
 
+// filterParThreshold is the entry count above which Commit's stale
+// filter and the merge-path compaction run as a parallel
+// count–scan–scatter instead of a sequential sweep. Below it the
+// sequential sweep wins: the filter is a predicated copy, cheap enough
+// that a fork-join barrier costs more than the sweep.
+const filterParThreshold = 1 << 13
+
+// filterGrain is the per-block size of the parallel live filter.
+const filterGrain = 1 << 12
+
 // F is a flat ordered frontier over vertices [0, n). The zero value is
 // NOT ready; obtain one from New and call Reset before each solve.
 // Buffers are grow-only and reused across solves.
@@ -248,20 +258,27 @@ func (f *F) Commit() {
 	// Drop staged entries already superseded (re-pushed or dropped since
 	// staging) before paying for the sort: with commits deferred across
 	// a step's substeps, a vertex improved k times stages k entries but
-	// only the last is live.
+	// only the last is live. Large batches filter in parallel, so the
+	// commit path's formerly sequential prefix shrinks to the scan.
 	t0 := f.now()
-	w := 0
-	for _, e := range f.stage {
-		if f.live(e) {
-			f.stage[w] = e
-			w++
-		} else {
-			f.ops.Stale++
+	var ents []Entry
+	if len(f.stage) > filterParThreshold && parallel.Procs() > 1 {
+		ents = f.filterLivePar(f.stage)
+		f.stage = f.stage[:0]
+	} else {
+		w := 0
+		for _, e := range f.stage {
+			if f.live(e) {
+				f.stage[w] = e
+				w++
+			} else {
+				f.ops.Stale++
+			}
 		}
+		ents = f.stage[:w]
+		f.stage = f.takeBuf(cap(f.stage))[:0]
 	}
 	f.addElapsed(&f.ops.FilterNanos, t0)
-	ents := f.stage[:w]
-	f.stage = f.takeBuf(cap(f.stage))[:0]
 	if len(ents) == 0 {
 		f.retire(ents)
 		return
@@ -325,9 +342,19 @@ func (f *F) mergeTopTwo() {
 	f.ops.Merges++
 }
 
-// compact rewrites r in place keeping only live entries (order
-// preserved; the write index never catches the read index).
+// compact rewrites r keeping only live entries, order preserved. Small
+// runs sweep in place (the write index never catches the read index);
+// large runs use the parallel live filter into an arena buffer, retiring
+// the old one — this keeps the merge path's stale-dropping pass off the
+// sequential critical section on big fringes.
 func (f *F) compact(r *run) {
+	if r.size() > filterParThreshold && parallel.Procs() > 1 {
+		out := f.filterLivePar(r.ents[r.start:])
+		f.retire(r.ents)
+		r.ents = out
+		r.start = 0
+		return
+	}
 	w := 0
 	for _, e := range r.ents[r.start:] {
 		if f.live(e) {
@@ -339,6 +366,54 @@ func (f *F) compact(r *run) {
 	}
 	r.ents = r.ents[:w]
 	r.start = 0
+}
+
+// filterLivePar writes src's live entries, order preserved, into a
+// buffer taken from the arena — a three-pass parallel pack mirroring
+// packRun (per-block live counts, scan, scatter). An in-place parallel
+// filter is impossible (block b's writes land inside earlier blocks'
+// read ranges), hence the fresh destination; the source buffer remains
+// the caller's to reuse or retire. Dropped entries are counted as stale.
+func (f *F) filterLivePar(src []Entry) []Entry {
+	nb := (len(src) + filterGrain - 1) / filterGrain
+	if cap(f.counts) < nb+1 {
+		f.counts = make([]int64, nb+1)
+	}
+	counts := f.counts[:nb]
+	parallel.Blocks(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*filterGrain, (b+1)*filterGrain
+			if hi > len(src) {
+				hi = len(src)
+			}
+			var c int64
+			for _, e := range src[lo:hi] {
+				if f.live(e) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	total := parallel.ExclusiveScan(counts, counts)
+	out := f.takeBuf(int(total))[:total]
+	parallel.Blocks(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*filterGrain, (b+1)*filterGrain
+			if hi > len(src) {
+				hi = len(src)
+			}
+			pos := counts[b]
+			for _, e := range src[lo:hi] {
+				if f.live(e) {
+					out[pos] = e
+					pos++
+				}
+			}
+		}
+	})
+	f.ops.Stale += int64(len(src)) - total
+	return out
 }
 
 // mergeEntries is the sequential two-pointer merge of Key-sorted a and

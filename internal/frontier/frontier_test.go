@@ -2,6 +2,7 @@ package frontier
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 )
@@ -202,5 +203,63 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, cycle)
 	if allocs > 0 {
 		t.Fatalf("steady-state cycle allocates %v objects, want 0", allocs)
+	}
+}
+
+// TestParallelCommitLargeBatch forces the parallel filter and compact
+// paths (batches above filterParThreshold at GOMAXPROCS >= 2) with a
+// heavy stale load — every vertex is pushed three times at decreasing
+// keys and a third are dropped before commit — then verifies extraction
+// order-insensitively against a sequential model. Run under -race by CI.
+func TestParallelCommitLargeBatch(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 3 * filterParThreshold
+	rng := rand.New(rand.NewSource(42))
+	f := New()
+	f.Reset(n)
+	want := make(map[int32]float64)
+	for v := int32(0); v < n; v++ {
+		k := rng.Float64() * 1000
+		// Three pushes per vertex: the two higher keys go stale.
+		f.Push(v, k+20)
+		f.Push(v, k+10)
+		f.Push(v, k)
+		want[v] = k
+	}
+	for v := int32(0); v < n; v += 3 {
+		f.Drop(v)
+		delete(want, v)
+	}
+	f.Commit()
+	if f.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(want))
+	}
+	// Several staged rounds force tier merges over large runs, which
+	// drives the parallel compact inside mergeTopTwo.
+	for round := 0; round < 4; round++ {
+		for v := int32(1); v < n; v += 4 {
+			if k, ok := want[v]; ok {
+				f.Push(v, k-float64(round+1))
+				want[v] = k - float64(round+1)
+			}
+		}
+		f.Commit()
+	}
+	got := f.ExtractBelow(500, nil)
+	for _, v := range got {
+		k, ok := want[v]
+		if !ok {
+			t.Fatalf("extracted vertex %d not live in model", v)
+		}
+		if k > 500 {
+			t.Fatalf("extracted vertex %d with model key %v > threshold", v, k)
+		}
+		delete(want, v)
+	}
+	for v, k := range want {
+		if k <= 500 {
+			t.Fatalf("vertex %d (key %v) should have been extracted", v, k)
+		}
 	}
 }

@@ -56,17 +56,33 @@ var pool struct {
 	size int         // workers ever created (they never exit)
 }
 
+// paddedInt64 is an atomic counter alone on its cache line. The pool
+// counters are written from different goroutines at different rates —
+// claims by every worker inside a fork, wakeNanos/parks by workers,
+// forks/joinNanos by fork callers — and as plain adjacent fields they
+// all shared one or two cache lines, so every claim bounced the line
+// under the hot counters written by other workers (false sharing). One
+// line per counter keeps each writer's RFO traffic to the counters it
+// actually touches. 64 bytes covers the destructive-interference range
+// of current amd64/arm64 parts.
+type paddedInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // poolStats are the process-global pool event counters. Monotonic;
-// consumers read deltas.
+// consumers read deltas. Each counter is cache-line padded; see
+// paddedInt64.
 var poolStats struct {
-	forks      atomic.Int64
-	dispatched atomic.Int64
-	inline     atomic.Int64
-	created    atomic.Int64
-	parks      atomic.Int64
-	wakeNanos  atomic.Int64
-	joinNanos  atomic.Int64
-	claims     atomic.Int64
+	_          [64]byte // keep the first counter off the preceding var's line
+	forks      paddedInt64
+	dispatched paddedInt64
+	inline     paddedInt64
+	created    paddedInt64
+	parks      paddedInt64
+	wakeNanos  paddedInt64
+	joinNanos  paddedInt64
+	claims     paddedInt64
 }
 
 // PoolCounters is a snapshot of the pool's cumulative event counters.

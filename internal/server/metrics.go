@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"radiusstep/internal/metrics"
+	"radiusstep/internal/parallel"
 
 	rs "radiusstep"
 )
@@ -53,6 +54,8 @@ type serverMetrics struct {
 	coalesced        *metrics.Counter
 	batchSources     *metrics.Counter
 	frontierOps      *metrics.CounterVec // op
+	solveBarrier     *metrics.Histogram  // per-solve join-barrier nanos
+	poolWake         *metrics.Histogram  // per-solve worker-wake nanos
 
 	// Memoized children for hot paths and for snapshot enumeration
 	// (CounterVec does not expose its label sets).
@@ -113,6 +116,19 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Sources processed via /v1/batch.")
 	m.frontierOps = r.NewCounterVec("sssp_frontier_ops_total",
 		"Ordered-frontier substrate operations across frontier-backed solves, by op.", "op")
+
+	// Per-solve fork-join contention, sampled as worker-pool counter
+	// deltas around each backend solve (the same counters -trace reads,
+	// so contention is visible in production without tracing overhead).
+	// The pool counters are process-global: under concurrent solves a
+	// delta also absorbs the overlapping solves' events, so these read
+	// as load-level contention, exact per-solve attribution only when
+	// solves don't overlap. Buckets: 1µs .. ~4s, log-spaced.
+	poolBuckets := metrics.ExpBuckets(1e3, 4, 12)
+	m.solveBarrier = r.NewHistogram("sssp_solve_barrier_nanos",
+		"Join-barrier wait nanoseconds accumulated by fork callers during one solve.", poolBuckets)
+	m.poolWake = r.NewHistogram("sssp_pool_wake_nanos",
+		"Worker wake (dispatch-to-execution) nanoseconds accumulated during one solve.", poolBuckets)
 
 	// Cache, pool and flight counters live in their own structs (the
 	// /v1/stats sections); /metrics samples them at scrape.
@@ -195,6 +211,23 @@ func (m *serverMetrics) observeSolve(graph string, st rs.Stats, dur time.Duratio
 			m.frontierOps.With(op.name).Add(op.n)
 		}
 	}
+}
+
+// poolBefore snapshots the worker pool's cumulative counters ahead of a
+// solve; pass the result to observePool afterwards.
+func (m *serverMetrics) poolBefore() parallel.PoolCounters {
+	return parallel.ReadPoolCounters()
+}
+
+// observePool folds the solve's pool-counter delta into the barrier and
+// wake histograms (see their registration comment for the concurrency
+// caveat). Solves that never forked (sequential engine, GOMAXPROCS=1)
+// still observe zeros, keeping _count equal to the solve count so rates
+// stay comparable.
+func (m *serverMetrics) observePool(before parallel.PoolCounters) {
+	after := parallel.ReadPoolCounters()
+	m.solveBarrier.Observe(float64(after.BarrierNanos - before.BarrierNanos))
+	m.poolWake.Observe(float64(after.WakeNanos - before.WakeNanos))
 }
 
 // errorsTotal sums the labeled error counters back into the single

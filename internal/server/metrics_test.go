@@ -106,6 +106,16 @@ func TestMetricsScrape(t *testing.T) {
 	if !ok || count != 2 {
 		t.Fatalf("solve histogram count = %v (present=%v), want 2", count, ok)
 	}
+
+	// The pool-contention histograms observe once per backend solve —
+	// zeros included (a solve that never forked still counts), so their
+	// _count must equal the solve count.
+	for _, name := range []string{"sssp_solve_barrier_nanos", "sssp_pool_wake_nanos"} {
+		c, ok := sampleValue(samples, name+"_count", nil)
+		if !ok || c != 2 {
+			t.Fatalf("%s_count = %v (present=%v), want 2", name, c, ok)
+		}
+	}
 	inf, ok := sampleValue(samples, "sssp_solve_duration_seconds_bucket", map[string]string{"engine": engine, "le": "+Inf"})
 	if !ok || inf != count {
 		t.Fatalf("le=+Inf bucket = %v, want _count = %v", inf, count)

@@ -196,12 +196,14 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine 
 			return nil, err
 		}
 		defer s.pool.release()
+		pc0 := s.metrics.poolBefore()
 		t0 := time.Now()
 		d, st, err := e.Backend.Distances(src, engine)
 		if err != nil {
 			return nil, err
 		}
 		dur := time.Since(t0)
+		s.metrics.observePool(pc0)
 		s.metrics.observeSolve(e.Name, st, dur)
 		s.logSolve(e.Name, src, st, dur)
 		s.cache.Add(key, d)
@@ -396,6 +398,7 @@ func (s *Server) answerTraced(ctx context.Context, e *Entry, src rs.Vertex, topK
 		resp.Error = err.Error()
 		return resp, http.StatusServiceUnavailable
 	}
+	pc0 := s.metrics.poolBefore()
 	t0 := time.Now()
 	dist, st, tl, err := tb.DistancesTraced(src, engine)
 	s.pool.release()
@@ -404,6 +407,7 @@ func (s *Server) answerTraced(ctx context.Context, e *Entry, src rs.Vertex, topK
 		return resp, http.StatusInternalServerError
 	}
 	dur := time.Since(t0)
+	s.metrics.observePool(pc0)
 	s.metrics.observeSolve(e.Name, st, dur)
 	s.logSolve(e.Name, src, st, dur)
 	resp.Trace = tl

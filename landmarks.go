@@ -167,7 +167,7 @@ func (s *Solver) route(src, dst Vertex, engine Engine, prune bool) ([]Vertex, fl
 	}
 	ws := s.getWS()
 	d, dist, st, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, kind, params, ws)
-	s.wsPool.Put(ws)
+	s.putWS(ws)
 	if err != nil {
 		return nil, 0, Stats{}, nil, err
 	}

@@ -45,7 +45,7 @@ func (s *Solver) Distance(src, dst Vertex) (float64, Stats, error) {
 	}
 	ws := s.getWS()
 	d, _, st, err := core.SolveKindTarget(s.pre.Graph, s.pre.Radii, src, dst, kind, params, ws)
-	s.wsPool.Put(ws)
+	s.putWS(ws)
 	return d, st, err
 }
 

@@ -291,7 +291,12 @@ type Solver struct {
 	pre    *Preprocessed
 	engine Engine
 	params core.Params
-	wsPool sync.Pool // of *core.Workspace
+	// wsPool pools *core.Workspace, one per in-flight solve. It sits
+	// behind an atomic pointer (not a bare sync.Pool) so ResetWorkspaces
+	// can swap in a fresh pool without copying a pool value or racing
+	// concurrent Get/Put; nil means "not created yet" and is equivalent
+	// to an empty pool.
+	wsPool atomic.Pointer[sync.Pool]
 
 	// lm is the ALT landmark set serving goal-directed Route queries;
 	// nil until landmarks are built (BuildLandmarks), adopted
@@ -351,13 +356,44 @@ func (s *Solver) SetDelta(delta float64) {
 }
 
 // getWS takes a workspace from the solver's pool (or makes one). Callers
-// return it with wsPool.Put; buffers are grow-only, so steady-state
-// queries on one graph reuse the same allocations.
+// return it with putWS; buffers are grow-only, so steady-state queries
+// on one graph reuse the same allocations.
 func (s *Solver) getWS() *core.Workspace {
-	if v := s.wsPool.Get(); v != nil {
-		return v.(*core.Workspace)
+	if p := s.wsPool.Load(); p != nil {
+		if v := p.Get(); v != nil {
+			return v.(*core.Workspace)
+		}
 	}
 	return core.NewWorkspace()
+}
+
+// putWS returns a workspace to the pool, creating the pool on first use.
+func (s *Solver) putWS(ws *core.Workspace) {
+	p := s.wsPool.Load()
+	for p == nil {
+		if s.wsPool.CompareAndSwap(nil, new(sync.Pool)) {
+			break
+		}
+		p = s.wsPool.Load()
+	}
+	if p == nil {
+		p = s.wsPool.Load()
+	}
+	p.Put(ws)
+}
+
+// ResetWorkspaces discards every pooled solve workspace by swapping in a
+// fresh pool; in-flight solves finish on their old workspaces, which are
+// then returned to the new pool and re-grown on demand. Workspace
+// buffers are grow-only — sized by the largest solve they ever served —
+// so a measurement harness that sweeps a dimension affecting buffer
+// shape (GOMAXPROCS, most notably: per-worker buffers are sized by the
+// worker count) calls this between settings to keep each setting's
+// steady state from inheriting the previous one's footprint. Not needed
+// in ordinary serving, where inherited capacity is exactly the point of
+// pooling.
+func (s *Solver) ResetWorkspaces() {
+	s.wsPool.Store(new(sync.Pool))
 }
 
 // Preprocessed exposes the solver's augmented graph and radii.
@@ -487,7 +523,7 @@ func (s *Solver) DistancesWith(src Vertex, engine Engine) ([]float64, Stats, err
 	}
 	ws := s.getWS()
 	d, st, err := core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, s.params, ws)
-	s.wsPool.Put(ws)
+	s.putWS(ws)
 	return d, st, err
 }
 
@@ -509,7 +545,7 @@ func (s *Solver) DistancesTraced(src Vertex, engine Engine) ([]float64, Stats, *
 	params.Recorder = rec
 	ws := s.getWS()
 	d, st, err := core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, params, ws)
-	s.wsPool.Put(ws)
+	s.putWS(ws)
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
@@ -561,7 +597,7 @@ func (s *Solver) DistancesBatch(sources []Vertex) ([][]float64, []Stats, error) 
 	if kind == core.KindSequential {
 		parallel.Workers(len(sources), func(_ int, claim func() (int, bool)) {
 			ws := s.getWS()
-			defer s.wsPool.Put(ws)
+			defer s.putWS(ws)
 			for {
 				i, ok := claim()
 				if !ok {
@@ -575,7 +611,7 @@ func (s *Solver) DistancesBatch(sources []Vertex) ([][]float64, []Stats, error) 
 		for i, src := range sources {
 			dists[i], stats[i], errs[i] = core.SolveKind(s.pre.Graph, s.pre.Radii, src, kind, s.params, ws)
 		}
-		s.wsPool.Put(ws)
+		s.putWS(ws)
 	}
 	for _, err := range errs {
 		if err != nil {
