@@ -1,0 +1,114 @@
+package radiusstep_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	rs "radiusstep"
+)
+
+// TestCancelProbeNilAllocGate is the cancellation seam's core promise,
+// stated as a test: threading the cancel probe through the driver and
+// every relax kernel must not cost probe-free solves anything. A
+// context-bearing solve runs first (it allocates its probe and AfterFunc
+// watcher freely), then plain solves on the same solver must still meet
+// the same steady-state allocation budget the pre-cancellation
+// implementation held. A Background context must also stay on the
+// zero-extra-allocation path — probeForContext maps it to a nil probe.
+// CI runs this test by name next to the other alloc gates.
+func TestCancelProbeNilAllocGate(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(20, 20), 1, 100, 3)
+	for _, tc := range []struct {
+		engine rs.Engine
+		budget float64
+	}{
+		{rs.EngineSequential, 4},
+		{rs.EngineParallel, 8},
+		{rs.EngineRho, 8},
+	} {
+		s, err := rs.NewSolver(g, rs.Options{Rho: 8, Engine: tc.engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A cancelable solve first: its probe must leave no residue in
+		// the pooled workspaces the probe-free path reuses.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if _, _, err := s.DistancesCtx(ctx, 0, rs.EngineAuto); err != nil {
+			t.Fatalf("engine %v: ctx solve: %v", tc.engine, err)
+		}
+		cancel()
+		for i := 0; i < 3; i++ {
+			if _, _, err := s.Distances(rs.Vertex(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, _, err := s.Distances(7); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > tc.budget {
+			t.Fatalf("engine %v: probe-free solve allocates %v objects after cancellation landed, want <= %v",
+				tc.engine, allocs, tc.budget)
+		}
+		// DistancesCtx with an un-endable context takes the nil-probe
+		// path: same budget, no probe or watcher allocation.
+		ctxAllocs := testing.AllocsPerRun(50, func() {
+			if _, _, err := s.DistancesCtx(context.Background(), 7, rs.EngineAuto); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if ctxAllocs > tc.budget {
+			t.Fatalf("engine %v: Background-ctx solve allocates %v objects, want <= %v",
+				tc.engine, ctxAllocs, tc.budget)
+		}
+	}
+}
+
+func TestDistancesCtxCancellation(t *testing.T) {
+	g := rs.WithUniformIntWeights(rs.Grid2D(40, 40), 1, 100, 5)
+	s, err := rs.NewSolver(g, rs.Options{Rho: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A live context solves normally and matches the plain path.
+	want, _, err := s.Distances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.DistancesCtx(context.Background(), 0, rs.EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("dist[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A pre-canceled context aborts with ErrCanceled before any work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.DistancesCtx(ctx, 0, rs.EngineAuto); !errors.Is(err, rs.ErrCanceled) {
+		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
+	}
+
+	// An already-expired deadline aborts with ErrDeadline.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := s.DistancesCtx(dctx, 0, rs.EngineAuto); !errors.Is(err, rs.ErrDeadline) {
+		t.Fatalf("expired ctx: err = %v, want ErrDeadline", err)
+	}
+
+	// RouteCtx honors the same semantics.
+	if _, _, _, err := s.RouteCtx(ctx, 0, 100, rs.EngineAuto, false); !errors.Is(err, rs.ErrCanceled) {
+		t.Fatalf("RouteCtx canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	path, d, _, err := s.RouteCtx(context.Background(), 0, 100, rs.EngineAuto, false)
+	if err != nil || len(path) == 0 || d != want[100] {
+		t.Fatalf("RouteCtx live ctx: path=%d d=%v err=%v, want d=%v", len(path), d, err, want[100])
+	}
+}

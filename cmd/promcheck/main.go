@@ -1,24 +1,32 @@
 // Command promcheck validates a Prometheus text exposition read from
 // stdin: it must parse under the 0.0.4 text format and every histogram
 // must satisfy the cumulative-bucket contract (counts monotone in le,
-// le="+Inf" present and equal to _count). Exit status 0 on success,
-// 1 on a malformed exposition — the CI metrics smoke job pipes
-// `curl /metrics` through it.
+// le="+Inf" present and equal to _count). -require asserts that named
+// metric families are present in the exposition — the CI smoke jobs use
+// it to catch a counter silently falling out of the registry. Exit
+// status 0 on success, 1 on a malformed exposition or a missing
+// required family.
 //
 // Usage:
 //
 //	curl -s localhost:8517/metrics | promcheck
+//	curl -s localhost:8517/metrics | promcheck -require sssp_solves_total,sssp_solve_panics_total
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"radiusstep/internal/metrics"
 )
 
 func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must appear in the exposition")
+	flag.Parse()
+
 	data, err := io.ReadAll(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "promcheck: read stdin: %v\n", err)
@@ -33,5 +41,28 @@ func main() {
 		os.Exit(1)
 	}
 	samples, _ := metrics.Parse(data)
+
+	if *require != "" {
+		present := make(map[string]bool, len(samples))
+		for _, s := range samples {
+			present[s.Name] = true
+			// Histogram families expose _bucket/_sum/_count samples;
+			// requiring the family name should match those too.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				present[strings.TrimSuffix(s.Name, suffix)] = true
+			}
+		}
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && !present[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "promcheck: missing required families: %s\n", strings.Join(missing, ", "))
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("promcheck: ok (%d samples)\n", len(samples))
 }

@@ -29,6 +29,17 @@
 // net/http/pprof on a separate mux; -log-requests emits structured
 // per-request and per-solve logs via log/slog.
 //
+// Request lifecycle: every solve-backed request runs under the
+// -solve-timeout deadline (clients may shorten it per request with
+// ?timeout_ms=, never extend; expiry is a 504). The solve pool sheds
+// load with 503 + Retry-After once -max-queue requests are already
+// waiting, and a client disconnect aborts its solve through the
+// engines' cooperative cancel probes unless other coalesced waiters
+// still want the result. /healthz is pure liveness (always 200);
+// /readyz is the routing gate — 503 while loading at startup and while
+// draining at shutdown, which waits up to -shutdown-grace for in-flight
+// solves before aborting the stragglers.
+//
 // Examples:
 //
 //	ssspd -graph road=gen=road,n=200000,weights=10000,rho=64 -listen :8517
@@ -68,12 +79,16 @@ import (
 	"radiusstep/internal/server"
 )
 
-// fileConfig is the JSON config accepted by -config.
+// fileConfig is the JSON config accepted by -config. Durations are Go
+// duration strings ("30s", "1m30s").
 type fileConfig struct {
 	Listen        string               `json:"listen,omitempty"`
 	Workers       int                  `json:"workers,omitempty"`
 	CacheMB       int64                `json:"cacheMB,omitempty"`
 	AutoLandmarks bool                 `json:"autoLandmarks,omitempty"`
+	SolveTimeout  string               `json:"solveTimeout,omitempty"`
+	ShutdownGrace string               `json:"shutdownGrace,omitempty"`
+	MaxQueue      int                  `json:"maxQueue,omitempty"`
 	Graphs        []server.GraphConfig `json:"graphs"`
 }
 
@@ -101,6 +116,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	logRequests := flag.Bool("log-requests", false, "emit a structured log line per request and per solve")
 	autoLandmarks := flag.Bool("auto-landmarks", false, "promote cached distance vectors into each graph's ALT landmark set (goal-directed route pruning)")
+	solveTimeout := flag.Duration("solve-timeout", server.DefaultSolveTimeout, "per-request solve deadline; ?timeout_ms= may shorten it per request, never extend (0 disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight solves before aborting them")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a solve slot before shedding with 503 (0 = 8 per worker)")
 	flag.Parse()
 
 	// Explicit flags beat the config file; flag.Visit distinguishes a
@@ -133,6 +151,23 @@ func main() {
 		if fc.AutoLandmarks && !setFlags["auto-landmarks"] {
 			*autoLandmarks = true
 		}
+		if fc.SolveTimeout != "" && !setFlags["solve-timeout"] {
+			d, err := time.ParseDuration(fc.SolveTimeout)
+			if err != nil {
+				fail("config %s: solveTimeout: %v", *configPath, err)
+			}
+			*solveTimeout = d
+		}
+		if fc.ShutdownGrace != "" && !setFlags["shutdown-grace"] {
+			d, err := time.ParseDuration(fc.ShutdownGrace)
+			if err != nil {
+				fail("config %s: shutdownGrace: %v", *configPath, err)
+			}
+			*shutdownGrace = d
+		}
+		if fc.MaxQueue > 0 && !setFlags["max-queue"] {
+			*maxQueue = fc.MaxQueue
+		}
 	}
 	for _, spec := range graphSpecs {
 		cfg, err := server.ParseGraphSpec(spec)
@@ -153,33 +188,42 @@ func main() {
 	}
 
 	reg := server.NewRegistry()
-	for _, cfg := range cfgs {
-		t0 := time.Now()
-		entry, err := server.BuildEntry(cfg)
-		if err != nil {
-			fail("%v", err)
+	loadGraphs := func() {
+		for _, cfg := range cfgs {
+			t0 := time.Now()
+			entry, err := server.BuildEntry(cfg)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := reg.Add(entry); err != nil {
+				fail("%v", err)
+			}
+			log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts radii=%s source=%s (%v)",
+				entry.Name, entry.Info.Vertices, entry.Info.Edges, entry.Info.Rho,
+				entry.Info.K, entry.Info.ShortcutsAdded, entry.Info.RadiiSource,
+				entry.Info.Source, time.Since(t0).Round(time.Millisecond))
 		}
-		if err := reg.Add(entry); err != nil {
-			fail("%v", err)
-		}
-		log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts radii=%s source=%s (%v)",
-			entry.Name, entry.Info.Vertices, entry.Info.Edges, entry.Info.Rho,
-			entry.Info.K, entry.Info.ShortcutsAdded, entry.Info.RadiiSource,
-			entry.Info.Source, time.Since(t0).Round(time.Millisecond))
 	}
 
 	var reqLogger *slog.Logger
 	if *logRequests {
 		reqLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	effTimeout := *solveTimeout
+	if effTimeout <= 0 {
+		effTimeout = -1 // Config: < 0 disables the deadline
+	}
 	srv := server.New(reg, server.Config{
 		Workers:       *workers,
 		CacheBytes:    *cacheMB << 20,
 		Logger:        reqLogger,
 		AutoLandmarks: *autoLandmarks,
+		SolveTimeout:  effTimeout,
+		QueueDepth:    *maxQueue,
 	})
 
 	if *selftest {
+		loadGraphs()
 		report, err := server.LoadSmoke(srv, server.SmokeConfig{
 			Queries: *selftestQueries,
 			Clients: *selftestClients,
@@ -212,6 +256,11 @@ func main() {
 		}()
 	}
 
+	// The listener comes up before the (possibly long) graph
+	// preprocessing so orchestrators can watch /readyz flip from 503
+	// "loading" to 200 instead of retrying a dead port; /healthz is 200
+	// the whole time.
+	srv.SetReady(false)
 	httpSrv := &http.Server{
 		Addr:         *listen,
 		Handler:      srv.Handler(),
@@ -219,17 +268,36 @@ func main() {
 		WriteTimeout: 5 * time.Minute, // full distance vectors can be large
 	}
 	go func() {
-		log.Printf("ssspd listening on %s (%d graphs)", *listen, reg.Len())
+		log.Printf("ssspd listening on %s (loading %d graphs)", *listen, len(cfgs))
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("serve: %v", err)
 		}
 	}()
+	loadGraphs()
+	srv.SetReady(true)
+	log.Printf("ready: %d graphs serving", reg.Len())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+
+	// Graceful shutdown: flip /readyz to draining so load balancers
+	// stop routing here, stop accepting connections, wait out in-flight
+	// solves under the grace budget, then abort stragglers through the
+	// cooperative cancel probes.
+	log.Printf("shutting down: draining (grace %v)", *shutdownGrace)
+	srv.BeginDrain()
+	graceCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
-	_ = httpSrv.Shutdown(ctx)
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- httpSrv.Shutdown(graceCtx) }()
+	if err := srv.Drain(graceCtx); err != nil {
+		log.Printf("drain grace expired; aborting in-flight solves")
+		srv.Abort()
+		finalCtx, fcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer fcancel()
+		_ = srv.Drain(finalCtx)
+	}
+	<-shutdownErr
+	log.Printf("shutdown complete")
 }

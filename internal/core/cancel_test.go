@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"radiusstep/internal/check"
+	"radiusstep/internal/gen"
+	"radiusstep/internal/graph"
+	"radiusstep/internal/preprocess"
+)
+
+func cancelTestGraph(t *testing.T) (*graph.CSR, []float64) {
+	t.Helper()
+	g := gen.WithUniformIntWeights(gen.Grid2D(20, 20), 1, 100, 21)
+	radii, err := preprocess.RadiiOnly(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, radii
+}
+
+func TestPreFiredProbeAbortsEveryEngine(t *testing.T) {
+	g, radii := cancelTestGraph(t)
+	causes := []struct {
+		name string
+		fire func(*Probe)
+		want error
+	}{
+		{"cancel", (*Probe).Cancel, ErrCanceled},
+		{"deadline", (*Probe).Expire, ErrDeadline},
+	}
+	for _, kind := range allKinds() {
+		for _, c := range causes {
+			p := new(Probe)
+			c.fire(p)
+			dist, st, err := SolveKind(g, radii, 0, kind, Params{Probe: p}, nil)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("%s/%s: err = %v, want %v", kind, c.name, err, c.want)
+			}
+			if dist != nil {
+				t.Fatalf("%s/%s: aborted solve returned distances", kind, c.name)
+			}
+			if st.Engine != kind.String() {
+				t.Fatalf("%s/%s: stats engine = %q", kind, c.name, st.Engine)
+			}
+		}
+	}
+}
+
+func TestProbeFirstCauseWins(t *testing.T) {
+	p := new(Probe)
+	p.Cancel()
+	p.Expire() // latched: the later cause must not overwrite the first
+	if !errors.Is(p.Err(), ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", p.Err())
+	}
+	if !p.Fired() {
+		t.Fatal("fired probe reports live")
+	}
+	var nilProbe *Probe
+	if nilProbe.Fired() || nilProbe.Err() != nil {
+		t.Fatal("nil probe must read as live")
+	}
+}
+
+func TestLiveProbeDistancesIdentical(t *testing.T) {
+	// A probe that never fires must not perturb the solve: distances are
+	// byte-identical to the nil-probe solve for every engine.
+	g, radii := cancelTestGraph(t)
+	for _, kind := range allKinds() {
+		want, _, err := SolveKind(g, radii, 0, kind, Params{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SolveKind(g, radii, 0, kind, Params{Probe: new(Probe)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i := check.SameDistances(want, got, 0); i >= 0 {
+			t.Fatalf("%s: dist[%d] = %v, want %v", kind, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMidSolveCancelThenWorkspaceReuse(t *testing.T) {
+	// Fire the probe from the per-step observer so the solve aborts at a
+	// mid-solve boundary with the workspace genuinely dirty, then reuse
+	// the same pooled workspace for a clean solve: distances must be
+	// byte-identical to a fresh solve, proving an aborted solve leaves no
+	// residue in the pooled buffers.
+	g, radii := cancelTestGraph(t)
+	for _, kind := range allKinds() {
+		ws := NewWorkspace()
+		p := new(Probe)
+		fired := false
+		observe := func(StepTrace) {
+			if !fired {
+				fired = true
+				p.Cancel()
+			}
+		}
+		dist, _, err := solve(g, radii, 0, kind, Params{Probe: p}, ws, observe, -1)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s: err = %v, want ErrCanceled", kind, err)
+		}
+		if dist != nil {
+			t.Fatalf("%s: canceled solve returned distances", kind)
+		}
+		if !fired {
+			t.Fatalf("%s: solve finished before the first step observer", kind)
+		}
+
+		want, _, err := SolveKind(g, radii, 0, kind, Params{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SolveKind(g, radii, 0, kind, Params{}, ws)
+		if err != nil {
+			t.Fatalf("%s: reuse after cancel: %v", kind, err)
+		}
+		if i := check.SameDistances(want, got, 0); i >= 0 {
+			t.Fatalf("%s: reused workspace dist[%d] = %v, want %v", kind, i, got[i], want[i])
+		}
+	}
+}
+
+func TestProbeMidArcPollAborts(t *testing.T) {
+	// A probe fired before the seed relaxation must abort even when the
+	// graph is large enough that a single substep spans many arc-interval
+	// polls — exercises the kernels' mid-substep poll paths under -race.
+	g := gen.WithUniformIntWeights(gen.RandomConnected(5000, 40000, 7), 1, 30, 9)
+	radii, err := preprocess.RadiiOnly(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allKinds() {
+		ws := NewWorkspace()
+		p := new(Probe)
+		steps := 0
+		observe := func(StepTrace) {
+			steps++
+			if steps == 2 {
+				p.Expire()
+			}
+		}
+		_, _, err := solve(g, radii, 0, kind, Params{Probe: p}, ws, observe, -1)
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("%s: err = %v, want ErrDeadline", kind, err)
+		}
+	}
+}

@@ -107,6 +107,16 @@ type Params struct {
 	// target. It must be a true upper bound on d(src, target); <= 0
 	// means none. Consulted only when Bound is non-nil.
 	UpperBound float64
+	// Probe, when non-nil, lets the caller cooperatively abort the
+	// solve: the driver polls it once per step and substep, and the
+	// relax kernels poll it every ~probeArcInterval scanned arcs, so
+	// even one enormous substep notices quickly. When the probe has
+	// fired the solve unwinds with its typed error (ErrCanceled or
+	// ErrDeadline) and no distance vector; the workspace stays valid
+	// for pooled reuse. nil — the default and the hot path — costs a
+	// pointer comparison per poll site and zero allocations, so the
+	// alloc gates and latency baselines hold unchanged.
+	Probe *Probe
 }
 
 // NewTraceRecorder returns a solve-trace recorder wired to the worker
@@ -288,6 +298,16 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	sp := ws.stepperFor(kind, p)
 	sp.reset()
 
+	// Cooperative cancellation: the probe is (re)set on every solve so a
+	// pooled workspace never inherits a fired probe from an earlier
+	// canceled solve. A probe that fired before the solve even started
+	// aborts here, before the seed relaxation touches anything.
+	probe := p.Probe
+	ws.probe = probe
+	if err := probe.Err(); err != nil {
+		return nil, Stats{Engine: kind.String()}, err
+	}
+
 	// Goal-directed pruning: the Bound hook is honored only when the
 	// solve has a target to prune toward. The hook and its upper bound
 	// are (re)set on every solve so a pooled workspace never inherits a
@@ -356,7 +376,14 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 	// zero-value times are never read when rec is nil.
 	var stepStart, phaseStart time.Time
 	var srec trace.StepRecord
+	var solveErr error
+steps:
 	for {
+		// Per-step probe poll: between steps every structure is at a
+		// clean boundary, so this is the cheapest abort point.
+		if solveErr = probe.Err(); solveErr != nil {
+			break
+		}
 		if rec != nil {
 			stepStart = rec.Now()
 			phaseStart = stepStart
@@ -390,6 +417,14 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 		frontier = append(frontier[:0], active...)
 		substeps := 0
 		for len(frontier) > 0 {
+			// Per-substep probe poll; the relax kernels additionally poll
+			// mid-substep (every ~probeArcInterval arcs / one claim
+			// chunk), so a fired probe is noticed promptly even inside
+			// one huge substep — the kernel bails early and this check
+			// unwinds the solve.
+			if solveErr = probe.Err(); solveErr != nil {
+				break steps
+			}
 			substeps++
 			ws.nextSubID()
 			var scanned0, relaxed0 int64
@@ -474,6 +509,14 @@ func solve(g *graph.CSR, radii []float64, src graph.V, kind EngineKind, p Params
 			SortNanos:   st.Frontier.SortNanos,
 			MergeNanos:  st.Frontier.MergeNanos,
 		})
+	}
+	if solveErr != nil {
+		// Aborted solves return the typed cancellation error and no
+		// distances. The workspace needs no special cleanup: every
+		// buffer the partial solve dirtied is re-prepared (distances,
+		// settled marks) or stamp-invalidated (act/sub/seen/infr) by the
+		// next solve, and each stepper's reset() rebuilds its fringe.
+		return nil, st, solveErr
 	}
 	return parallel.BitsToFloats(ws.bits), st, nil
 }

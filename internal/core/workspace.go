@@ -130,6 +130,17 @@ type Workspace struct {
 	// Float64bits(b)+1, zero meaning "uncomputed" — see boundAt.
 	bcache []uint64
 
+	// probe is the current solve's cooperative-cancellation probe
+	// (Params.Probe), reset by the driver on every solve; nil on the
+	// hot path. The relax kernels poll it mid-substep — every
+	// ~probeArcInterval scanned arcs in the scalar paths, once per
+	// claim chunk in the parallel paths — and bail out of the substep
+	// early when it has fired; the driver then unwinds the solve. A
+	// bailed substep may leave the frontier bookkeeping short, which is
+	// fine: the partial state is never read again (the driver returns
+	// an error, and the next solve re-prepares everything).
+	probe *Probe
+
 	hp *heapStepper
 	fs *frontierStepper
 	rh *rhoStepper
@@ -361,9 +372,19 @@ func (ws *Workspace) pushSeq(frontier []graph.V, st *Stats) []graph.V {
 	}
 	bnd, ub := ws.bound, ws.ub
 	out := ws.updated[:0]
+	var sinceProbe int
 	for fi, u := range frontier {
 		du := snap[fi]
 		adj, wts := ws.g.Neighbors(u)
+		// Mid-substep cancellation poll at arc granularity: a frontier
+		// of hubs can scan millions of arcs in one substep, and the
+		// per-substep poll alone would notice a cancel far too late.
+		if sinceProbe += len(adj); sinceProbe >= probeArcInterval {
+			sinceProbe = 0
+			if ws.probe.Fired() {
+				break
+			}
+		}
 		// Expansion-time prune: if u itself cannot lie on a path that
 		// beats the target bound, none of its relaxations can — the
 		// landmark bound is consistent (|lb(u) - lb(v)| <= w(u,v)), so
@@ -427,6 +448,13 @@ func (ws *Workspace) pushPar(frontier []graph.V, totalArcs int64, st *Stats) []g
 		for {
 			alo, ahi, ok := claim()
 			if !ok {
+				break
+			}
+			// Per-chunk cancellation poll: chunks are 512–8192 arcs, the
+			// same order as the scalar kernels' probeArcInterval. Workers
+			// stop claiming and drain through the join barrier, so the
+			// fork-join discipline (and the race-free merge) is intact.
+			if ws.probe.Fired() {
 				break
 			}
 			// First frontier index whose arc range reaches past alo.
@@ -519,11 +547,18 @@ func (ws *Workspace) pullSeq(frontier []graph.V, st *Stats) []graph.V {
 	bnd, ub := ws.bound, ws.ub
 	out := ws.updated[:0]
 	n := len(ws.bits)
+	var sinceProbe int
 	for v := 0; v < n; v++ {
 		if ws.done[v] {
 			continue
 		}
 		adj, wts := ws.g.Neighbors(graph.V(v))
+		if sinceProbe += len(adj); sinceProbe >= probeArcInterval {
+			sinceProbe = 0
+			if ws.probe.Fired() {
+				break
+			}
+		}
 		st.EdgesScanned += int64(len(adj))
 		dv := parallel.FromBits(ws.bits[v])
 		nd := dv
@@ -570,6 +605,10 @@ func (ws *Workspace) pullPar(frontier []graph.V, st *Stats) []graph.V {
 		for {
 			lo, hi, ok := claim()
 			if !ok {
+				break
+			}
+			// Per-chunk cancellation poll (see pushPar).
+			if ws.probe.Fired() {
 				break
 			}
 			for v := lo; v < hi; v++ {

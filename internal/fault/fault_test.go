@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCheckNoPlanIsNoop(t *testing.T) {
+	Clear()
+	if err := Check(SiteSolve); err != nil {
+		t.Fatalf("Check with no table: %v", err)
+	}
+	if got := Fired(SiteSolve); got != 0 {
+		t.Fatalf("Fired with no table: %d", got)
+	}
+}
+
+func TestInjectError(t *testing.T) {
+	t.Cleanup(Clear)
+	boom := errors.New("boom")
+	Inject(SiteSolve, Plan{Err: boom})
+
+	err := Check(SiteSolve)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Check: %v, want ErrInjected", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Check: %v does not wrap the plan's error", err)
+	}
+	if !strings.Contains(err.Error(), SiteSolve) {
+		t.Fatalf("Check error does not name the site: %v", err)
+	}
+	// Other sites stay clean.
+	if err := Check(SiteCacheFill); err != nil {
+		t.Fatalf("uninjected site fired: %v", err)
+	}
+	if got := Fired(SiteSolve); got != 1 {
+		t.Fatalf("Fired: %d, want 1", got)
+	}
+}
+
+func TestLimitBoundsFirings(t *testing.T) {
+	t.Cleanup(Clear)
+	Inject(SiteCacheFill, Plan{Err: errors.New("x"), Limit: 2})
+	for i := 0; i < 2; i++ {
+		if err := Check(SiteCacheFill); err == nil {
+			t.Fatalf("firing %d: nil, want error", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Check(SiteCacheFill); err != nil {
+			t.Fatalf("past the limit: %v", err)
+		}
+	}
+	if got := Fired(SiteCacheFill); got != 2 {
+		t.Fatalf("Fired: %d, want 2 (checks past the limit don't count)", got)
+	}
+}
+
+func TestInjectPanic(t *testing.T) {
+	t.Cleanup(Clear)
+	Inject(SiteSolve, Plan{Panic: "chaos"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Check did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "chaos") || !strings.Contains(msg, SiteSolve) {
+			t.Fatalf("panic message %q missing plan text or site", msg)
+		}
+	}()
+	Check(SiteSolve)
+}
+
+func TestInjectDelay(t *testing.T) {
+	t.Cleanup(Clear)
+	Inject(SiteSnapshotLoad, Plan{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Check(SiteSnapshotLoad); err != nil {
+		t.Fatalf("delay-only plan returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("Check returned after %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	t.Cleanup(Clear)
+	Inject(SiteSolve, Plan{Err: errors.New("a")})
+	Inject(SiteCacheFill, Plan{Err: errors.New("b")})
+
+	Remove(SiteSolve)
+	if err := Check(SiteSolve); err != nil {
+		t.Fatalf("removed site still fires: %v", err)
+	}
+	if err := Check(SiteCacheFill); err == nil {
+		t.Fatal("Remove disturbed an unrelated site")
+	}
+	// Removing the last plan and removing a missing site are both fine.
+	Remove(SiteCacheFill)
+	Remove("never-installed")
+	if err := Check(SiteCacheFill); err != nil {
+		t.Fatalf("after removing everything: %v", err)
+	}
+
+	Inject(SiteSolve, Plan{Err: errors.New("c")})
+	Clear()
+	if err := Check(SiteSolve); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}
+
+// TestConcurrentCheckDuringInject races hot-path Checks against
+// copy-on-write writers; the -race build is the assertion.
+func TestConcurrentCheckDuringInject(t *testing.T) {
+	t.Cleanup(Clear)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Check(SiteSolve)
+					Check(SiteCacheFill)
+					Fired(SiteSolve)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		Inject(SiteSolve, Plan{Err: ErrInjected, Limit: 1})
+		Inject(SiteCacheFill, Plan{})
+		Remove(SiteCacheFill)
+		Clear()
+	}
+	close(stop)
+	wg.Wait()
+}

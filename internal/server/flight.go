@@ -2,8 +2,11 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
+
+	rs "radiusstep"
 )
 
 // flightGroup coalesces concurrent duplicate work: while one solve for a
@@ -11,6 +14,15 @@ import (
 // for its result instead of starting their own solve. This is the
 // singleflight pattern, implemented locally so the module stays
 // stdlib-only.
+//
+// Each in-flight call is reference-counted by its participants (the
+// leader plus every joined waiter) and runs under its own cancelable
+// context: a participant whose request context ends releases its
+// reference, and when the LAST participant departs the call's context
+// is canceled, aborting the solve through the cooperative probe. A
+// solve with surviving waiters keeps running — one client disconnecting
+// must not poison the others' queries — but a solve nobody is waiting
+// for stops burning its pool slot.
 type flightGroup struct {
 	mu      sync.Mutex
 	calls   map[cacheKey]*flightCall
@@ -18,44 +30,122 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{}
-	dist []float64
-	err  error
+	g      *flightGroup
+	ctx    context.Context // the solve's context; canceled when refs hit 0
+	cancel context.CancelFunc
+	refs   int // participants (leader + joiners) still interested
+	done   chan struct{}
+	dist   []float64
+	err    error
+}
+
+// leave releases one participant's interest in the call; the last
+// departure cancels the solve context. Canceling after the solve
+// completed is a harmless no-op.
+func (c *flightCall) leave() {
+	c.g.mu.Lock()
+	c.refs--
+	last := c.refs == 0
+	c.g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
 }
 
 func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
 }
 
+// maxFlightRetries bounds the fresh-solve retries a live waiter makes
+// after piggybacking on a call that was aborted by its other
+// participants' departure.
+const maxFlightRetries = 3
+
+// abortedFlight reports whether err says the call's solve was canceled
+// out from under its waiters — the coalescing layer's signal to retry,
+// distinct from a real solve failure.
+func abortedFlight(err error) bool {
+	return errors.Is(err, rs.ErrCanceled) || errors.Is(err, context.Canceled)
+}
+
 // Do runs fn for key unless an identical call is already in flight, in
-// which case it waits for that call's result. joined reports whether
-// this caller piggybacked on another caller's solve. A waiting caller
-// whose context expires returns the context error; the in-flight solve
-// keeps running for the remaining waiters.
-func (g *flightGroup) Do(ctx context.Context, key cacheKey, fn func() ([]float64, error)) (dist []float64, joined bool, err error) {
+// which case it waits for that call's result. fn receives the call's
+// solve context, which is canceled when every participant has departed;
+// fn should thread it into the solve so abandonment aborts the work.
+// joined reports whether this caller piggybacked on another caller's
+// solve. A waiting caller whose context ends returns the context error;
+// the in-flight solve keeps running for the remaining waiters. A waiter
+// that joined a call just as it was being abandoned (its result is a
+// cancellation, but this waiter's own context is still live) starts a
+// fresh call instead of propagating the neighbors' abort.
+func (g *flightGroup) Do(ctx context.Context, key cacheKey, fn func(context.Context) ([]float64, error)) (dist []float64, joined bool, err error) {
+	for attempt := 0; ; attempt++ {
+		dist, joined, err = g.doOnce(ctx, key, fn)
+		if joined && abortedFlight(err) && ctx.Err() == nil && attempt < maxFlightRetries {
+			continue
+		}
+		return dist, joined, err
+	}
+}
+
+func (g *flightGroup) doOnce(ctx context.Context, key cacheKey, fn func(context.Context) ([]float64, error)) (dist []float64, joined bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
+		c.refs++
 		g.mu.Unlock()
 		g.waiters.Add(1)
 		defer g.waiters.Add(-1)
+		// The watcher releases this waiter's reference the moment its
+		// request context ends; if the result arrives first, Stop()
+		// reporting true means the watcher never ran and the reference is
+		// released here instead — exactly one leave() either way.
+		stop := context.AfterFunc(ctx, c.leave)
 		select {
 		case <-c.done:
+			if stop() {
+				c.leave()
+			}
 			return c.dist, true, c.err
 		case <-ctx.Done():
 			return nil, true, ctx.Err()
 		}
 	}
-	c := &flightCall{done: make(chan struct{})}
+
+	c := &flightCall{g: g, refs: 1, done: make(chan struct{})}
+	// The solve context is detached from the leader's request values and
+	// deadline but NOT from the participants: it ends when the last of
+	// them departs.
+	c.ctx, c.cancel = context.WithCancel(context.WithoutCancel(ctx))
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.dist, c.err = fn()
+	stop := context.AfterFunc(ctx, c.leave)
+	c.dist, c.err = fn(c.ctx)
 
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
+	if stop() {
+		c.leave()
+	}
+	// Release the context's timer/goroutine resources; the call is over.
+	c.cancel()
 	return c.dist, false, c.err
+}
+
+// abortAll cancels every in-flight call's solve context — the shutdown
+// path's last resort for stragglers that outlived the drain grace.
+func (g *flightGroup) abortAll() {
+	g.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(g.calls))
+	for _, c := range g.calls {
+		cancels = append(cancels, c.cancel)
+	}
+	g.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
 }
 
 // FlightStats snapshots the coalescing state.

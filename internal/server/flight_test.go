@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rs "radiusstep"
+)
+
+// flightWait polls cond until it holds or the deadline passes. The
+// flight tests sequence goroutines through observable state (waiter
+// counts, context errors) rather than sleeps, so they stay
+// deterministic under -race scheduling.
+func flightWait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type flightResult struct {
+	dist   []float64
+	joined bool
+	err    error
+}
+
+// TestFlightLeaderSurvivesWaiterCancel: one of two participants
+// canceling must not abort the shared solve — the other still gets its
+// answer.
+func TestFlightLeaderSurvivesWaiterCancel(t *testing.T) {
+	g := newFlightGroup()
+	key := cacheKey{graph: "g", src: 1}
+	gate := make(chan struct{})
+	var solveCtx atomic.Pointer[context.Context]
+	fn := func(ctx context.Context) ([]float64, error) {
+		solveCtx.Store(&ctx)
+		select {
+		case <-gate:
+			return []float64{7}, nil
+		case <-ctx.Done():
+			return nil, rs.ErrCanceled
+		}
+	}
+
+	leaderDone := make(chan flightResult, 1)
+	go func() {
+		d, j, err := g.Do(context.Background(), key, fn)
+		leaderDone <- flightResult{d, j, err}
+	}()
+	flightWait(t, "leader to start solving", func() bool { return solveCtx.Load() != nil })
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	waiterDone := make(chan flightResult, 1)
+	go func() {
+		d, j, err := g.Do(wctx, key, fn)
+		waiterDone <- flightResult{d, j, err}
+	}()
+	flightWait(t, "waiter to join", func() bool { return g.Stats().Waiting == 1 })
+
+	wcancel()
+	w := <-waiterDone
+	if !w.joined || !errors.Is(w.err, context.Canceled) {
+		t.Fatalf("waiter: joined=%v err=%v, want joined cancel", w.joined, w.err)
+	}
+	// The solve must still be live: the leader is interested.
+	flightWait(t, "waiter ref release", func() bool { return g.Stats().Waiting == 0 })
+	if err := (*solveCtx.Load()).Err(); err != nil {
+		t.Fatalf("solve context canceled by a non-final waiter: %v", err)
+	}
+
+	close(gate)
+	l := <-leaderDone
+	if l.err != nil || l.joined || len(l.dist) != 1 || l.dist[0] != 7 {
+		t.Fatalf("leader: dist=%v joined=%v err=%v", l.dist, l.joined, l.err)
+	}
+}
+
+// TestFlightAbortsWhenAllCancel: when every participant departs, the
+// solve context must cancel so the solve stops burning its pool slot.
+func TestFlightAbortsWhenAllCancel(t *testing.T) {
+	g := newFlightGroup()
+	key := cacheKey{graph: "g", src: 2}
+	var solveCtx atomic.Pointer[context.Context]
+	fn := func(ctx context.Context) ([]float64, error) {
+		solveCtx.Store(&ctx)
+		<-ctx.Done()
+		return nil, rs.ErrCanceled
+	}
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	leaderDone := make(chan flightResult, 1)
+	go func() {
+		d, j, err := g.Do(lctx, key, fn)
+		leaderDone <- flightResult{d, j, err}
+	}()
+	flightWait(t, "leader to start solving", func() bool { return solveCtx.Load() != nil })
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	waiterDone := make(chan flightResult, 1)
+	go func() {
+		d, j, err := g.Do(wctx, key, fn)
+		waiterDone <- flightResult{d, j, err}
+	}()
+	flightWait(t, "waiter to join", func() bool { return g.Stats().Waiting == 1 })
+
+	// First departure: solve keeps running.
+	wcancel()
+	<-waiterDone
+	flightWait(t, "waiter ref release", func() bool { return g.Stats().Waiting == 0 })
+	if err := (*solveCtx.Load()).Err(); err != nil {
+		t.Fatalf("solve aborted with a participant remaining: %v", err)
+	}
+
+	// Last departure: solve context must cancel and the leader's Do
+	// must surface the abort.
+	lcancel()
+	l := <-leaderDone
+	if !errors.Is(l.err, rs.ErrCanceled) {
+		t.Fatalf("leader after full abandonment: err=%v, want ErrCanceled", l.err)
+	}
+	if err := (*solveCtx.Load()).Err(); err == nil {
+		t.Fatal("solve context still live after every participant departed")
+	}
+	if n := g.Stats().InFlight; n != 0 {
+		t.Fatalf("calls still in flight after abort: %d", n)
+	}
+}
+
+// TestFlightLateJoinerRetriesAfterAbort: a waiter that piggybacks on a
+// call just as its other participants abandon it must not inherit their
+// cancellation — Do retries with a fresh solve.
+func TestFlightLateJoinerRetriesAfterAbort(t *testing.T) {
+	g := newFlightGroup()
+	key := cacheKey{graph: "g", src: 3}
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	var solveCtx atomic.Pointer[context.Context]
+	fn := func(ctx context.Context) ([]float64, error) {
+		if calls.Add(1) == 1 {
+			solveCtx.Store(&ctx)
+			// The first solve ignores cancellation until the gate opens
+			// (modeling a solve between probe polls), then honors it.
+			<-gate
+			if ctx.Err() != nil {
+				return nil, rs.ErrCanceled
+			}
+			return []float64{1}, nil
+		}
+		return []float64{2}, nil
+	}
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderDone := make(chan flightResult, 1)
+	go func() {
+		d, j, err := g.Do(lctx, key, fn)
+		leaderDone <- flightResult{d, j, err}
+	}()
+	flightWait(t, "first solve to start", func() bool { return solveCtx.Load() != nil })
+
+	// The leader departs; with refs at zero the call is doomed but still
+	// registered (fn is between probe polls).
+	lcancel()
+	flightWait(t, "solve context cancellation", func() bool {
+		return (*solveCtx.Load()).Err() != nil
+	})
+
+	// A late joiner with a live context piggybacks on the doomed call.
+	joinerDone := make(chan flightResult, 1)
+	go func() {
+		d, j, err := g.Do(context.Background(), key, fn)
+		joinerDone <- flightResult{d, j, err}
+	}()
+	flightWait(t, "late joiner to park", func() bool { return g.Stats().Waiting == 1 })
+
+	close(gate)
+	l := <-leaderDone
+	if !errors.Is(l.err, rs.ErrCanceled) {
+		t.Fatalf("abandoned leader: err=%v, want ErrCanceled", l.err)
+	}
+	j := <-joinerDone
+	if j.err != nil {
+		t.Fatalf("late joiner: %v (the neighbors' abort leaked through)", j.err)
+	}
+	if len(j.dist) != 1 || j.dist[0] != 2 {
+		t.Fatalf("late joiner got %v, want the fresh solve's result [2]", j.dist)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("solve calls: got %d, want 2 (aborted + fresh)", got)
+	}
+	if st := g.Stats(); st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("flight state not drained: %+v", st)
+	}
+}

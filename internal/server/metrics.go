@@ -23,6 +23,7 @@ var endpointNames = map[string]string{
 	"graphs":    "/v1/graphs",
 	"stats":     "/v1/stats",
 	"healthz":   "/healthz",
+	"readyz":    "/readyz",
 	"metrics":   "/metrics",
 }
 
@@ -53,6 +54,9 @@ type serverMetrics struct {
 	landmarksAdopted *metrics.Counter
 	coalesced        *metrics.Counter
 	batchSources     *metrics.Counter
+	solveTimeouts    *metrics.Counter
+	solvesCanceled   *metrics.Counter
+	solvePanics      *metrics.Counter
 	frontierOps      *metrics.CounterVec // op
 	solveBarrier     *metrics.Histogram  // per-solve join-barrier nanos
 	poolWake         *metrics.Histogram  // per-solve worker-wake nanos
@@ -114,6 +118,24 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Queries that piggybacked on an in-flight identical solve.")
 	m.batchSources = r.NewCounter("sssp_batch_sources_total",
 		"Sources processed via /v1/batch.")
+
+	// Request-lifecycle counters: deadline expiries (504s), client
+	// departures (499s), contained engine panics, and shed requests.
+	// Plain counters (not funcs) so they appear in the exposition at 0 —
+	// alerting rules and the CI promcheck -require gate depend on the
+	// families existing before the first incident.
+	m.solveTimeouts = r.NewCounter("sssp_solve_timeouts_total",
+		"Solve-backed requests that hit their deadline (504 class).")
+	m.solvesCanceled = r.NewCounter("sssp_solves_canceled_total",
+		"Solve-backed requests aborted by client departure (499 class).")
+	m.solvePanics = r.NewCounter("sssp_solve_panics_total",
+		"Engine panics contained by the serving layer (500 instead of a dead daemon).")
+	r.NewCounterFunc("sssp_requests_shed_total",
+		"Requests rejected because the solve wait queue was full (503 + Retry-After).",
+		func() float64 { return float64(s.pool.Stats().Shed) })
+	r.NewGaugeFunc("sssp_pool_queue_depth",
+		"Requests currently waiting for a solve slot (the bounded admission queue).",
+		func() float64 { return float64(s.pool.Stats().Waiting) })
 	m.frontierOps = r.NewCounterVec("sssp_frontier_ops_total",
 		"Ordered-frontier substrate operations across frontier-backed solves, by op.", "op")
 

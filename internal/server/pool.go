@@ -2,28 +2,71 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 )
 
+// errQueueFull is returned by acquire when the bounded wait queue is at
+// capacity: the server sheds the request (503 + Retry-After) instead of
+// letting an unbounded line of waiters build up behind slow solves.
+var errQueueFull = errors.New("server: solve queue full")
+
 // solvePool bounds the number of SSSP solves running at once so a burst
 // of uncached queries cannot oversubscribe the machine (each solve may
-// itself be internally parallel). Cache hits never touch the pool.
+// itself be internally parallel), and bounds how many requests may wait
+// for a slot so a stall cannot queue unbounded work. Cache hits never
+// touch the pool.
 type solvePool struct {
-	sem     chan struct{}
-	inUse   atomic.Int64
-	waiting atomic.Int64
+	sem      chan struct{}
+	queueCap int64
+	inUse    atomic.Int64
+	waiting  atomic.Int64
+	shed     atomic.Int64
 }
 
-func newSolvePool(workers int) *solvePool {
+// newSolvePool builds a pool of `workers` slots and a wait queue of
+// queueCap entries; queueCap <= 0 selects 8 waiters per slot.
+func newSolvePool(workers, queueCap int) *solvePool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &solvePool{sem: make(chan struct{}, workers)}
+	if queueCap <= 0 {
+		queueCap = 8 * workers
+	}
+	return &solvePool{sem: make(chan struct{}, workers), queueCap: int64(queueCap)}
 }
 
-// acquire blocks until a solve slot is free or ctx is done.
+// acquire obtains a solve slot: immediately when one is free, otherwise
+// by joining the bounded wait queue until a slot frees or ctx ends. A
+// full queue fails fast with errQueueFull (counted as a shed). The
+// waiting select commits to exactly one communication — either the slot
+// send completes (and the slot is owned) or the ctx branch is taken
+// (and no send happened) — so a waiter whose context fires while a slot
+// frees concurrently can never take the slot and abandon it.
 func (p *solvePool) acquire(ctx context.Context) error {
-	p.waiting.Add(1)
+	// Fast path: free slot, no queue accounting, no ctx check — matches
+	// the uncontended steady state.
+	select {
+	case p.sem <- struct{}{}:
+		p.inUse.Add(1)
+		return nil
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Bounded admission: reserve a queue position or shed. The CAS loop
+	// makes reserve-if-below-cap atomic under concurrent arrivals.
+	for {
+		w := p.waiting.Load()
+		if w >= p.queueCap {
+			p.shed.Add(1)
+			return errQueueFull
+		}
+		if p.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
 	defer p.waiting.Add(-1)
 	select {
 	case p.sem <- struct{}{}:
@@ -43,11 +86,20 @@ func (p *solvePool) size() int { return cap(p.sem) }
 
 // PoolStats snapshots the worker pool.
 type PoolStats struct {
-	Workers int   `json:"workers"`
-	InUse   int64 `json:"inUse"`
-	Waiting int64 `json:"waiting"`
+	Workers  int   `json:"workers"`
+	InUse    int64 `json:"inUse"`
+	Waiting  int64 `json:"waiting"`
+	QueueCap int64 `json:"queueCap"`
+	// Shed counts requests rejected because the wait queue was full.
+	Shed int64 `json:"shed"`
 }
 
 func (p *solvePool) Stats() PoolStats {
-	return PoolStats{Workers: p.size(), InUse: p.inUse.Load(), Waiting: p.waiting.Load()}
+	return PoolStats{
+		Workers:  p.size(),
+		InUse:    p.inUse.Load(),
+		Waiting:  p.waiting.Load(),
+		QueueCap: p.queueCap,
+		Shed:     p.shed.Load(),
+	}
 }

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolDefaultQueueCap(t *testing.T) {
+	p := newSolvePool(2, 0)
+	if st := p.Stats(); st.Workers != 2 || st.QueueCap != 16 {
+		t.Fatalf("defaults: %+v, want 2 workers / 16 queue cap", st)
+	}
+}
+
+// TestPoolQueueCapSheds: with every slot busy and the wait queue at
+// capacity, the next acquire must fail fast with errQueueFull instead
+// of joining an unbounded line.
+func TestPoolQueueCapSheds(t *testing.T) {
+	p := newSolvePool(1, 2)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiterErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { waiterErrs <- p.acquire(ctx) }()
+	}
+	flightWait(t, "queue to fill", func() bool { return p.Stats().Waiting == 2 })
+
+	if err := p.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire at capacity: %v, want errQueueFull", err)
+	}
+	if st := p.Stats(); st.Shed != 1 {
+		t.Fatalf("shed count: %+v, want 1", st)
+	}
+
+	// A freed slot admits exactly one waiter; canceling the other must
+	// release its queue position.
+	p.release()
+	if err := <-waiterErrs; err != nil {
+		t.Fatalf("admitted waiter: %v", err)
+	}
+	cancel()
+	if err := <-waiterErrs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v, want context.Canceled", err)
+	}
+	p.release()
+	if st := p.Stats(); st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+}
+
+// TestPoolAcquireHonorsPreCanceledContext: a dead context never takes a
+// queue position (only the uncontended fast path may still hand out a
+// free slot, matching channel-select semantics).
+func TestPoolAcquireHonorsPreCanceledContext(t *testing.T) {
+	p := newSolvePool(1, 4)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatalf("setup acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire with dead ctx: %v, want context.Canceled", err)
+	}
+	if st := p.Stats(); st.Waiting != 0 {
+		t.Fatalf("dead ctx left a queue position: %+v", st)
+	}
+	p.release()
+}
+
+// TestPoolHammerNoLeak drives the pool with a mix of successful
+// acquires, shed requests, and mid-wait cancellations; the invariant —
+// no slot or queue position leaks — is the satellite fix for the
+// acquire race where a waiter whose context fired could strand a slot.
+func TestPoolHammerNoLeak(t *testing.T) {
+	p := newSolvePool(2, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(1+(i+j)%3)*time.Millisecond)
+				err := p.acquire(ctx)
+				if err == nil {
+					time.Sleep(200 * time.Microsecond)
+					p.release()
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("pool leaked after hammer: %+v", st)
+	}
+}

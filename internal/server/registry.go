@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"radiusstep/internal/fault"
 
 	rs "radiusstep"
 )
@@ -26,6 +29,19 @@ type Backend interface {
 	Distances(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error)
 	// Path answers a point-to-point query with early termination.
 	Path(src, dst rs.Vertex, engine rs.Engine) ([]rs.Vertex, float64, error)
+}
+
+// ContextBackend is the optional extension a Backend implements to run
+// solves under a context: the serving layer threads the flight call's
+// solve context (and each route request's deadline) through to the
+// library's cooperative cancel probe, so abandoned or expired requests
+// abort mid-solve with ErrCanceled/ErrDeadline instead of running to
+// completion. A backend without it simply runs every solve to the end.
+type ContextBackend interface {
+	// DistancesCtx is Distances with cooperative cancellation.
+	DistancesCtx(ctx context.Context, src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error)
+	// RouteCtx is Route with cooperative cancellation.
+	RouteCtx(ctx context.Context, src, dst rs.Vertex, engine rs.Engine, prune bool) ([]rs.Vertex, float64, rs.Stats, error)
 }
 
 // TracingBackend is the optional extension a Backend implements to
@@ -187,6 +203,14 @@ func (b *solverBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, r
 	return b.solver.DistancesWith(src, engine)
 }
 
+func (b *solverBackend) DistancesCtx(ctx context.Context, src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error) {
+	return b.solver.DistancesCtx(ctx, src, engine)
+}
+
+func (b *solverBackend) RouteCtx(ctx context.Context, src, dst rs.Vertex, engine rs.Engine, prune bool) ([]rs.Vertex, float64, rs.Stats, error) {
+	return b.solver.RouteCtx(ctx, src, dst, engine, prune)
+}
+
 func (b *solverBackend) DistancesTraced(src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, *rs.Timeline, error) {
 	return b.solver.DistancesTraced(src, engine)
 }
@@ -246,6 +270,62 @@ func (b *remapBackend) Distances(src rs.Vertex, engine rs.Engine) ([]float64, rs
 		return nil, st, err
 	}
 	return rs.UnpermuteFloats(d, b.perm), st, nil
+}
+
+// DistancesCtx threads cancellation through the relabeling layer when
+// the inner backend supports it, falling back to the uncancelable path
+// otherwise (ids still remap either way).
+func (b *remapBackend) DistancesCtx(ctx context.Context, src rs.Vertex, engine rs.Engine) ([]float64, rs.Stats, error) {
+	cb, ok := b.inner.(ContextBackend)
+	if !ok {
+		return b.Distances(src, engine)
+	}
+	if err := b.checkVertex(src); err != nil {
+		return nil, rs.Stats{}, err
+	}
+	d, st, err := cb.DistancesCtx(ctx, b.perm[src], engine)
+	if err != nil {
+		return nil, st, err
+	}
+	return rs.UnpermuteFloats(d, b.perm), st, nil
+}
+
+// RouteCtx threads cancellation through the relabeling layer; see
+// Route for the id-mapping contract.
+func (b *remapBackend) RouteCtx(ctx context.Context, src, dst rs.Vertex, engine rs.Engine, prune bool) ([]rs.Vertex, float64, rs.Stats, error) {
+	cb, ok := b.inner.(ContextBackend)
+	if !ok {
+		rb, rok := b.inner.(RoutingBackend)
+		if !rok {
+			return nil, 0, rs.Stats{}, fmt.Errorf("server: backend does not support routing")
+		}
+		return b.routeMapped(src, dst, func(ss, sd rs.Vertex) ([]rs.Vertex, float64, rs.Stats, error) {
+			return rb.Route(ss, sd, engine, prune)
+		})
+	}
+	return b.routeMapped(src, dst, func(ss, sd rs.Vertex) ([]rs.Vertex, float64, rs.Stats, error) {
+		return cb.RouteCtx(ctx, ss, sd, engine, prune)
+	})
+}
+
+// routeMapped wraps an inner stored-id route solve with the endpoint
+// and path remapping shared by Route and RouteCtx.
+func (b *remapBackend) routeMapped(src, dst rs.Vertex, solve func(ss, sd rs.Vertex) ([]rs.Vertex, float64, rs.Stats, error)) ([]rs.Vertex, float64, rs.Stats, error) {
+	if err := b.checkVertex(src); err != nil {
+		return nil, 0, rs.Stats{}, err
+	}
+	if err := b.checkVertex(dst); err != nil {
+		return nil, 0, rs.Stats{}, err
+	}
+	p, d, st, err := solve(b.perm[src], b.perm[dst])
+	if err != nil {
+		return nil, 0, st, err
+	}
+	out := make([]rs.Vertex, len(p))
+	for i, v := range p {
+		out[i] = b.inv[v]
+	}
+	return out, d, st, nil
 }
 
 // DistancesTraced passes tracing through the relabeling layer when the
@@ -490,8 +570,23 @@ func ParseGraphSpec(spec string) (GraphConfig, error) {
 // for snapshot and bundle sources carrying persisted radii it skips
 // preprocessing entirely (the registry's fast cold-start path) and the
 // entry's Info reports RadiiSource, the snapshot size, and the total
-// cold-start time.
-func BuildEntry(cfg GraphConfig) (*Entry, error) {
+// cold-start time. A panic anywhere in the load path (a corrupt
+// snapshot tripping an index, an injected chaos fault) is contained
+// into a clean error so one bad graph config cannot kill a daemon
+// loading several.
+func BuildEntry(cfg GraphConfig) (entry *Entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			entry, err = nil, fmt.Errorf("server: graph %q: load panic: %v", cfg.Name, r)
+		}
+	}()
+	if ferr := fault.Check(fault.SiteSnapshotLoad); ferr != nil {
+		return nil, fmt.Errorf("server: graph %q: %w", cfg.Name, ferr)
+	}
+	return buildEntry(cfg)
+}
+
+func buildEntry(cfg GraphConfig) (*Entry, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("server: graph config needs a name")
 	}

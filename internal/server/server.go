@@ -26,17 +26,27 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"radiusstep/internal/fault"
 
 	rs "radiusstep"
 )
+
+// DefaultSolveTimeout bounds a solve-backed request when Config leaves
+// SolveTimeout zero. Generous — a cold multi-million-vertex solve fits —
+// but finite, so no request can hold a pool slot forever.
+const DefaultSolveTimeout = 30 * time.Second
 
 // Config tunes a Server.
 type Config struct {
@@ -53,6 +63,15 @@ type Config struct {
 	// doubles as a goal-direction index: hot sources sharpen every later
 	// route query's pruning for free.
 	AutoLandmarks bool
+	// SolveTimeout is the per-request deadline for solve-backed
+	// endpoints (default DefaultSolveTimeout; < 0 disables). Requests
+	// may shorten it per call with ?timeout_ms=; they can never extend
+	// past it.
+	SolveTimeout time.Duration
+	// QueueDepth caps how many requests may wait for a solve slot
+	// before the server sheds load with 503 + Retry-After (<= 0 selects
+	// 8 waiters per worker).
+	QueueDepth int
 }
 
 // Server serves shortest-path queries over a Registry. Create with New,
@@ -65,7 +84,16 @@ type Server struct {
 	metrics       *serverMetrics
 	logger        *slog.Logger
 	autoLandmarks bool
+	solveTimeout  time.Duration
 	start         time.Time
+
+	// Lifecycle: ready gates /readyz (New starts ready; the daemon
+	// flips it around graph loading), draining marks shutdown, and
+	// lifeCtx ends when Abort tears down stragglers.
+	ready      atomic.Bool
+	draining   atomic.Bool
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 }
 
 // New builds a server over reg.
@@ -74,17 +102,68 @@ func New(reg *Registry, cfg Config) *Server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	timeout := cfg.SolveTimeout
+	if timeout == 0 {
+		timeout = DefaultSolveTimeout
+	}
+	if timeout < 0 {
+		timeout = 0 // disabled
+	}
 	s := &Server{
 		registry:      reg,
 		cache:         newDistCache(cfg.CacheBytes),
 		flight:        newFlightGroup(),
-		pool:          newSolvePool(workers),
+		pool:          newSolvePool(workers, cfg.QueueDepth),
 		logger:        cfg.Logger,
 		autoLandmarks: cfg.AutoLandmarks,
+		solveTimeout:  timeout,
 		start:         time.Now(),
 	}
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+	s.ready.Store(true)
 	s.metrics = newServerMetrics(s)
 	return s
+}
+
+// SetReady flips the /readyz readiness gate; the daemon holds it false
+// while graphs load so load balancers don't route to a cold process.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the server is accepting work (ready and not
+// draining).
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// BeginDrain marks the server draining: /readyz turns 503 immediately
+// so load balancers stop sending traffic, while in-flight requests keep
+// running. Call Drain afterwards to wait them out.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain waits for the solve pool to empty — the graceful half of
+// shutdown. It returns nil once no solve is running or waiting, or
+// ctx's error when the grace period expires first (the caller then
+// escalates to Abort).
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st := s.pool.Stats()
+		if st.InUse == 0 && st.Waiting == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Abort cancels every in-flight solve through the cooperative probe —
+// the forceful half of shutdown, for stragglers that outlived the
+// drain grace.
+func (s *Server) Abort() {
+	s.lifeCancel()
+	s.flight.abortAll()
 }
 
 // Registry exposes the graph registry (for daemon startup logging).
@@ -96,6 +175,7 @@ func (s *Server) Registry() *Registry { return s.registry }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/graphs", s.instrument("/v1/graphs", s.handleGraphs))
 	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
@@ -161,6 +241,78 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// --- request lifecycle ----------------------------------------------------
+
+// statusClientClosedRequest is the nginx-convention status for "the
+// client went away before we could answer" — a solve aborted by its own
+// caller's disconnect, distinct from a server-imposed 504 deadline.
+const statusClientClosedRequest = 499
+
+// requestCtx derives the context a solve-backed request runs under: the
+// request's own context bounded by the server's solve timeout —
+// shortened, never extended, by a ?timeout_ms= override — and canceled
+// by server Abort (shutdown stragglers). The returned cancel must be
+// called when the request finishes.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.solveTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout_ms %q (want a positive integer)", raw)
+		}
+		if d := time.Duration(ms) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	stop := context.AfterFunc(s.lifeCtx, cancel)
+	return ctx, func() { stop(); cancel() }, nil
+}
+
+// solveStatus maps a solve-path error onto its HTTP status: deadline
+// expiry is the 504 class (the server's time budget ran out), client
+// departure is 499 (nginx convention), a full queue is 503, anything
+// else a plain 500.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, rs.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, rs.ErrCanceled) || errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, errQueueFull):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// recordSolveError folds a failed solve into the shed/timeout/cancel/
+// panic counter families (the success path has its own counters).
+func (s *Server) recordSolveError(err error) {
+	switch {
+	case errors.Is(err, rs.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.solveTimeouts.Inc()
+	case errors.Is(err, rs.ErrCanceled) || errors.Is(err, context.Canceled):
+		s.metrics.solvesCanceled.Inc()
+	}
+}
+
+// failSolve writes a solve-path failure with its mapped status; shed
+// requests carry Retry-After so well-behaved clients back off.
+func (s *Server) failSolve(w http.ResponseWriter, err error, format string, args ...any) {
+	status := solveStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.fail(w, status, format, args...)
+}
+
 // --- core query path ------------------------------------------------------
 
 // engineParam parses the optional ?engine= override, returning
@@ -187,18 +339,20 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine 
 	if d, ok := s.cache.Get(key); ok {
 		return d, true, nil
 	}
-	// The solve runs detached from the leader's request context: its
-	// result is shared with every coalesced waiter and the cache, so one
-	// client disconnecting must not poison the others' queries.
-	solveCtx := context.WithoutCancel(ctx)
-	d, joined, err := s.flight.Do(ctx, key, func() ([]float64, error) {
+	// The solve runs under the flight call's own context: detached from
+	// any single request's values and deadline — its result is shared
+	// with every coalesced waiter and the cache, so one client
+	// disconnecting must not poison the others' queries — but canceled
+	// when the LAST interested participant departs, so an abandoned
+	// solve stops burning its pool slot.
+	d, joined, err := s.flight.Do(ctx, key, func(solveCtx context.Context) ([]float64, error) {
 		if err := s.pool.acquire(solveCtx); err != nil {
 			return nil, err
 		}
 		defer s.pool.release()
 		pc0 := s.metrics.poolBefore()
 		t0 := time.Now()
-		d, st, err := e.Backend.Distances(src, engine)
+		d, st, err := s.solveGuarded(solveCtx, e, src, engine)
 		if err != nil {
 			return nil, err
 		}
@@ -206,14 +360,66 @@ func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine 
 		s.metrics.observePool(pc0)
 		s.metrics.observeSolve(e.Name, st, dur)
 		s.logSolve(e.Name, src, st, dur)
-		s.cache.Add(key, d)
-		s.maybeAdoptLandmark(e, src, d)
+		s.fillCache(e, key, src, d)
 		return d, nil
 	})
 	if joined {
 		s.metrics.coalesced.Inc()
 	}
+	// The flight's solve context carries no deadline (waiters may have
+	// different ones), so a solve aborted because THIS request's
+	// deadline expired comes back as a cancellation; restore the real
+	// cause for status mapping (504, not 499).
+	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		err = rs.ErrDeadline
+	}
 	return d, false, err
+}
+
+// solveGuarded runs one backend solve with panic containment: an engine
+// panic becomes an error (and a counter increment) instead of a dead
+// daemon — the deferred pool release and flight completion above then
+// unwind normally, so no slot or waiter is stuck. Backends implementing
+// ContextBackend get the solve context threaded through to the
+// cooperative cancel probe; others run to completion as before.
+func (s *Server) solveGuarded(ctx context.Context, e *Entry, src rs.Vertex, engine rs.Engine) (d []float64, st rs.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.solvePanics.Inc()
+			if s.logger != nil {
+				s.logger.Error("solve panic", "graph", e.Name, "source", int64(src), "panic", fmt.Sprint(r))
+			}
+			d, st, err = nil, rs.Stats{}, fmt.Errorf("server: solve panic: %v", r)
+		}
+	}()
+	if ferr := fault.Check(fault.SiteSolve); ferr != nil {
+		return nil, rs.Stats{}, ferr
+	}
+	if cb, ok := e.Backend.(ContextBackend); ok {
+		return cb.DistancesCtx(ctx, src, engine)
+	}
+	return e.Backend.Distances(src, engine)
+}
+
+// fillCache publishes a solved vector to the distance cache and the
+// landmark-adoption path. The fill is best-effort: an injected (or
+// real) failure here must never fail the response — the solve already
+// produced a correct answer — so errors skip the fill and panics are
+// contained to a counter.
+func (s *Server) fillCache(e *Entry, key cacheKey, src rs.Vertex, d []float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.solvePanics.Inc()
+			if s.logger != nil {
+				s.logger.Error("cache fill panic", "graph", e.Name, "source", int64(src), "panic", fmt.Sprint(r))
+			}
+		}
+	}()
+	if err := fault.Check(fault.SiteCacheFill); err != nil {
+		return
+	}
+	s.cache.Add(key, d)
+	s.maybeAdoptLandmark(e, src, d)
 }
 
 // maybeAdoptLandmark promotes a freshly solved distance vector into the
@@ -321,12 +527,29 @@ type batchResponse struct {
 
 // --- handlers -------------------------------------------------------------
 
+// handleHealthz is pure liveness: 200 for as long as the process can
+// serve HTTP at all, even while loading or draining. Orchestrators use
+// it to decide restarts; routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"graphs":        s.registry.Len(),
 		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
 	})
+}
+
+// handleReadyz is the routing gate: 503 while the daemon is still
+// loading graphs or draining for shutdown, 200 only when queries will
+// actually be served.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "graphs": s.registry.Len()})
+	}
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
@@ -364,12 +587,21 @@ func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
 	if !s.checkTargets(w, e, req.Targets) {
 		return
 	}
+	ctx, cancel, cerr := s.requestCtx(r)
+	if cerr != nil {
+		s.fail(w, http.StatusBadRequest, "%v", cerr)
+		return
+	}
+	defer cancel()
 	if traceParam(r) {
-		resp, status := s.answerTraced(r.Context(), e, src, req.TopK, req.Targets, eng)
+		resp, status := s.answerTraced(ctx, e, src, req.TopK, req.Targets, eng)
 		writeJSON(w, status, resp)
 		return
 	}
-	resp, status := s.answerSource(r.Context(), e, src, req.TopK, req.Targets, eng)
+	resp, status := s.answerSource(ctx, e, src, req.TopK, req.Targets, eng)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, resp)
 }
 
@@ -395,13 +627,14 @@ func (s *Server) answerTraced(ctx context.Context, e *Entry, src rs.Vertex, topK
 		return resp, http.StatusBadRequest
 	}
 	if err := s.pool.acquire(ctx); err != nil {
+		s.recordSolveError(err)
 		resp.Error = err.Error()
-		return resp, http.StatusServiceUnavailable
+		return resp, solveStatus(err)
 	}
+	defer s.pool.release()
 	pc0 := s.metrics.poolBefore()
 	t0 := time.Now()
 	dist, st, tl, err := tb.DistancesTraced(src, engine)
-	s.pool.release()
 	if err != nil {
 		resp.Error = err.Error()
 		return resp, http.StatusInternalServerError
@@ -434,8 +667,9 @@ func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK
 	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
 	dist, cached, err := s.distances(ctx, e, src, engine)
 	if err != nil {
+		s.recordSolveError(err)
 		resp.Error = err.Error()
-		return resp, http.StatusInternalServerError
+		return resp, solveStatus(err)
 	}
 	resp.Cached = cached
 	s.shapeDistances(&resp, dist, topK, targets)
@@ -532,32 +766,55 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if err := s.pool.acquire(r.Context()); err != nil {
-		s.fail(w, http.StatusServiceUnavailable, "route: %v", err)
+	ctx, cancel, cerr := s.requestCtx(r)
+	if cerr != nil {
+		s.fail(w, http.StatusBadRequest, "%v", cerr)
 		return
 	}
-	var (
-		path []rs.Vertex
-		d    float64
-		err  error
-	)
-	if rb, ok := e.Backend.(RoutingBackend); ok {
-		var st rs.Stats
-		path, d, st, err = rb.Route(src, dst, eng, prune)
-		if st.Pruned > 0 {
-			s.metrics.routePruned.Add(st.Pruned)
-			resp.Pruned = st.Pruned
-		}
-	} else {
-		path, d, err = e.Backend.Path(src, dst, eng)
+	defer cancel()
+	if err := s.pool.acquire(ctx); err != nil {
+		s.recordSolveError(err)
+		s.failSolve(w, err, "route: %v", err)
+		return
 	}
-	s.pool.release()
+	path, d, err := s.routeGuarded(ctx, e, src, dst, eng, prune, &resp)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "route: %v", err)
+		s.recordSolveError(err)
+		s.failSolve(w, err, "route: %v", err)
 		return
 	}
 	s.metrics.routeSolves.Inc()
 	writeRoute(w, resp, path, d)
+}
+
+// routeGuarded runs one route solve under the pool slot (released on
+// every path, panics included) with the same panic containment and
+// context threading as solveGuarded.
+func (s *Server) routeGuarded(ctx context.Context, e *Entry, src, dst rs.Vertex, eng rs.Engine, prune bool, resp *routeResponse) (path []rs.Vertex, d float64, err error) {
+	defer s.pool.release()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.solvePanics.Inc()
+			if s.logger != nil {
+				s.logger.Error("route panic", "graph", e.Name, "source", int64(src), "panic", fmt.Sprint(r))
+			}
+			path, d, err = nil, 0, fmt.Errorf("server: route panic: %v", r)
+		}
+	}()
+	var st rs.Stats
+	switch b := e.Backend.(type) {
+	case ContextBackend:
+		path, d, st, err = b.RouteCtx(ctx, src, dst, eng, prune)
+	case RoutingBackend:
+		path, d, st, err = b.Route(src, dst, eng, prune)
+	default:
+		path, d, err = e.Backend.Path(src, dst, eng)
+	}
+	if st.Pruned > 0 {
+		s.metrics.routePruned.Add(st.Pruned)
+		resp.Pruned = st.Pruned
+	}
+	return path, d, err
 }
 
 // writeRoute finishes a route response from the computed path.
@@ -608,6 +865,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.batchSources.Add(int64(len(req.Sources)))
+	ctx, cancel, cerr := s.requestCtx(r)
+	if cerr != nil {
+		s.fail(w, http.StatusBadRequest, "%v", cerr)
+		return
+	}
+	defer cancel()
 
 	// Source-level parallelism: each source runs the full cache →
 	// coalescing → pool pipeline, so duplicates inside one batch
@@ -622,7 +885,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int, src int64) {
 			defer wg.Done()
 			var status int
-			results[i], status = s.answerSource(r.Context(), e, rs.Vertex(src), req.TopK, req.Targets, eng)
+			results[i], status = s.answerSource(ctx, e, rs.Vertex(src), req.TopK, req.Targets, eng)
 			if status >= 400 {
 				batchErrs.Inc()
 			}

@@ -46,14 +46,22 @@ type StatsSnapshot struct {
 	RoutePruned int64 `json:"routePruned"`
 	// LandmarksAdopted counts cached distance vectors promoted into ALT
 	// landmark sets (Config.AutoLandmarks).
-	LandmarksAdopted int64            `json:"landmarksAdopted"`
-	Coalesced        int64            `json:"coalesced"`
-	BatchSources     int64            `json:"batchSources"`
-	Errors           int64            `json:"errors"`
-	Cache            CacheStats       `json:"cache"`
-	Pool             PoolStats        `json:"pool"`
-	Flight           FlightStats      `json:"flight"`
-	SolvesByGraph    map[string]int64 `json:"solvesByGraph"`
+	LandmarksAdopted int64 `json:"landmarksAdopted"`
+	Coalesced        int64 `json:"coalesced"`
+	BatchSources     int64 `json:"batchSources"`
+	Errors           int64 `json:"errors"`
+	// SolveTimeouts counts solve-backed requests that hit their deadline
+	// (504 class); SolvesCanceled counts client-departure aborts (499);
+	// SolvePanics counts engine panics contained into 500s; Shed counts
+	// requests rejected by the bounded admission queue (503).
+	SolveTimeouts  int64            `json:"solveTimeouts"`
+	SolvesCanceled int64            `json:"solvesCanceled"`
+	SolvePanics    int64            `json:"solvePanics"`
+	Shed           int64            `json:"shed"`
+	Cache          CacheStats       `json:"cache"`
+	Pool           PoolStats        `json:"pool"`
+	Flight         FlightStats      `json:"flight"`
+	SolvesByGraph  map[string]int64 `json:"solvesByGraph"`
 	// SolvesByEngine counts full SSSP solves per engine name
 	// (sequential, parallel, flat, delta, rho) — the observable contract
 	// behind per-request ?engine= overrides.
@@ -79,6 +87,10 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 		Coalesced:        m.coalesced.Value(),
 		BatchSources:     m.batchSources.Value(),
 		Errors:           m.errorsTotal(),
+		SolveTimeouts:    m.solveTimeouts.Value(),
+		SolvesCanceled:   m.solvesCanceled.Value(),
+		SolvePanics:      m.solvePanics.Value(),
+		Shed:             s.pool.Stats().Shed,
 		Frontier: FrontierStats{
 			Pushes:    m.frontierOps.With("pushes").Value(),
 			Batches:   m.frontierOps.With("batches").Value(),

@@ -138,13 +138,13 @@ func (s *Solver) LandmarkBound(v, t Vertex) float64 {
 // entirely. The returned distance is byte-identical to the unpruned
 // solve's; only the work differs. Without landmarks, prune is a no-op.
 func (s *Solver) Route(src, dst Vertex, engine Engine, prune bool) ([]Vertex, float64, Stats, error) {
-	path, d, st, _, err := s.route(src, dst, engine, prune)
+	path, d, st, _, err := s.route(src, dst, engine, prune, nil)
 	return path, d, st, err
 }
 
-// route is Route plus the partial distance vector, for callers that
-// reuse it (tests).
-func (s *Solver) route(src, dst Vertex, engine Engine, prune bool) ([]Vertex, float64, Stats, []float64, error) {
+// route is Route plus the partial distance vector (for callers that
+// reuse it — tests) and an optional cancellation probe (RouteCtx).
+func (s *Solver) route(src, dst Vertex, engine Engine, prune bool, probe *core.Probe) ([]Vertex, float64, Stats, []float64, error) {
 	kind := core.KindSequential
 	if engine != EngineAuto {
 		var err error
@@ -153,6 +153,7 @@ func (s *Solver) route(src, dst Vertex, engine Engine, prune bool) ([]Vertex, fl
 		}
 	}
 	params := s.params
+	params.Probe = probe
 	n := s.pre.Graph.NumVertices()
 	if prune && src >= 0 && int(src) < n && dst >= 0 && int(dst) < n {
 		if lm := s.lm.Load(); lm.K() > 0 {
