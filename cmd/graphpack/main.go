@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +79,15 @@ func main() {
 		var format rs.GraphFormat
 		var err error
 		g, format, err = rs.LoadGraphFile(*in)
-		if err != nil {
+		switch {
+		// The two snapshot failure classes need different operator
+		// action, so report them distinctly: a truncated file is a bad
+		// copy (re-fetch it), a corrupt one needs re-packing.
+		case errors.Is(err, rs.ErrSnapshotTruncated):
+			fail("graphpack: %s is a truncated snapshot (short file — re-fetch or re-copy it): %v", *in, err)
+		case errors.Is(err, rs.ErrSnapshotCorrupt):
+			fail("graphpack: %s is a corrupt snapshot (bad checksum or structure — rebuild it with graphpack): %v", *in, err)
+		case err != nil:
 			fail("graphpack: %v", err)
 		}
 		origin = fmt.Sprintf("%s (%s)", *in, format)

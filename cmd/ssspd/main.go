@@ -29,6 +29,25 @@
 // net/http/pprof on a separate mux; -log-requests emits structured
 // per-request and per-solve logs via log/slog.
 //
+// Graph lifecycle: every -graph spec loads concurrently and
+// independently — a spec that fails validation (torn snapshot, bad
+// checksum, build error) is quarantined and logged while the rest come
+// up, so one broken file degrades the daemon instead of killing it
+// (-require-all-graphs restores strict startup; the process still
+// exits nonzero if ALL graphs fail). /readyz reports "degraded" with
+// per-graph states while any graph is down. At runtime, POST
+// /v1/admin/reload atomically swaps a graph to a freshly built epoch —
+// in-flight queries finish on the old epoch, new queries see the new
+// one, and a failed reload quarantines while the old epoch keeps
+// serving. The admin surface (reload, load, DELETE) listens on
+// -admin-addr (private, unauthenticated) and/or mounts on the query
+// port guarded by -admin-token. -watch polls file-backed sources and
+// reloads on mtime change, re-probing quarantined graphs with
+// exponential backoff. -graph-budget-mb caps resident graph bytes,
+// evicting least-recently-queried graphs to cold state; the next query
+// triggers a transparent background reload (503 + Retry-After until it
+// lands).
+//
 // Request lifecycle: every solve-backed request runs under the
 // -solve-timeout deadline (clients may shorten it per request with
 // ?timeout_ms=, never extend; expiry is a 504). The solve pool sheds
@@ -73,6 +92,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -82,14 +103,19 @@ import (
 // fileConfig is the JSON config accepted by -config. Durations are Go
 // duration strings ("30s", "1m30s").
 type fileConfig struct {
-	Listen        string               `json:"listen,omitempty"`
-	Workers       int                  `json:"workers,omitempty"`
-	CacheMB       int64                `json:"cacheMB,omitempty"`
-	AutoLandmarks bool                 `json:"autoLandmarks,omitempty"`
-	SolveTimeout  string               `json:"solveTimeout,omitempty"`
-	ShutdownGrace string               `json:"shutdownGrace,omitempty"`
-	MaxQueue      int                  `json:"maxQueue,omitempty"`
-	Graphs        []server.GraphConfig `json:"graphs"`
+	Listen           string               `json:"listen,omitempty"`
+	Workers          int                  `json:"workers,omitempty"`
+	CacheMB          int64                `json:"cacheMB,omitempty"`
+	AutoLandmarks    bool                 `json:"autoLandmarks,omitempty"`
+	SolveTimeout     string               `json:"solveTimeout,omitempty"`
+	ShutdownGrace    string               `json:"shutdownGrace,omitempty"`
+	MaxQueue         int                  `json:"maxQueue,omitempty"`
+	AdminAddr        string               `json:"adminAddr,omitempty"`
+	AdminToken       string               `json:"adminToken,omitempty"`
+	GraphBudgetMB    int64                `json:"graphBudgetMB,omitempty"`
+	Watch            string               `json:"watch,omitempty"`
+	RequireAllGraphs bool                 `json:"requireAllGraphs,omitempty"`
+	Graphs           []server.GraphConfig `json:"graphs"`
 }
 
 // multiFlag collects repeated -graph flags.
@@ -119,6 +145,11 @@ func main() {
 	solveTimeout := flag.Duration("solve-timeout", server.DefaultSolveTimeout, "per-request solve deadline; ?timeout_ms= may shorten it per request, never extend (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight solves before aborting them")
 	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a solve slot before shedding with 503 (0 = 8 per worker)")
+	adminAddr := flag.String("admin-addr", "", "serve the unauthenticated admin API (reload/load/remove) on this private address; empty disables")
+	adminToken := flag.String("admin-token", "", "mount the admin API on the query port, guarded by this bearer token; empty keeps it off")
+	graphBudgetMB := flag.Int64("graph-budget-mb", 0, "resident graph-memory budget in MiB; least-recently-queried graphs are evicted to cold state and reload on demand (0 = unlimited)")
+	watch := flag.Duration("watch", 0, "poll file-backed graph sources at this interval and hot-reload on change; quarantined graphs re-probe with backoff (0 disables)")
+	requireAllGraphs := flag.Bool("require-all-graphs", false, "exit at startup if ANY graph fails to load (default: come up degraded if at least one serves)")
 	flag.Parse()
 
 	// Explicit flags beat the config file; flag.Visit distinguishes a
@@ -168,6 +199,25 @@ func main() {
 		if fc.MaxQueue > 0 && !setFlags["max-queue"] {
 			*maxQueue = fc.MaxQueue
 		}
+		if fc.AdminAddr != "" && !setFlags["admin-addr"] {
+			*adminAddr = fc.AdminAddr
+		}
+		if fc.AdminToken != "" && !setFlags["admin-token"] {
+			*adminToken = fc.AdminToken
+		}
+		if fc.GraphBudgetMB > 0 && !setFlags["graph-budget-mb"] {
+			*graphBudgetMB = fc.GraphBudgetMB
+		}
+		if fc.Watch != "" && !setFlags["watch"] {
+			d, err := time.ParseDuration(fc.Watch)
+			if err != nil {
+				fail("config %s: watch: %v", *configPath, err)
+			}
+			*watch = d
+		}
+		if fc.RequireAllGraphs && !setFlags["require-all-graphs"] {
+			*requireAllGraphs = true
+		}
 	}
 	for _, spec := range graphSpecs {
 		cfg, err := server.ParseGraphSpec(spec)
@@ -188,21 +238,42 @@ func main() {
 	}
 
 	reg := server.NewRegistry()
-	loadGraphs := func() {
+	if *graphBudgetMB > 0 {
+		reg.SetBudget(*graphBudgetMB << 20)
+	}
+	// Graphs load concurrently and independently: one broken spec
+	// quarantines (visible in /readyz and /v1/graphs) while the others
+	// come up. Duplicate names are caught by LoadConfig's registration,
+	// which runs before the build, so the race between two same-named
+	// specs resolves to exactly one registered graph plus one error.
+	loadGraphs := func() (loaded int) {
+		var wg sync.WaitGroup
+		var ok atomic.Int64
 		for _, cfg := range cfgs {
-			t0 := time.Now()
-			entry, err := server.BuildEntry(cfg)
-			if err != nil {
-				fail("%v", err)
-			}
-			if err := reg.Add(entry); err != nil {
-				fail("%v", err)
-			}
-			log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts radii=%s source=%s (%v)",
-				entry.Name, entry.Info.Vertices, entry.Info.Edges, entry.Info.Rho,
-				entry.Info.K, entry.Info.ShortcutsAdded, entry.Info.RadiiSource,
-				entry.Info.Source, time.Since(t0).Round(time.Millisecond))
+			wg.Add(1)
+			go func(cfg server.GraphConfig) {
+				defer wg.Done()
+				t0 := time.Now()
+				if err := reg.LoadConfig(cfg); err != nil {
+					log.Printf("graph %q failed to load (quarantined): %v", cfg.Name, err)
+					return
+				}
+				entry, _ := reg.Get(cfg.Name)
+				if entry == nil {
+					// Loaded and already budget-evicted; still a success.
+					log.Printf("graph %q loaded and immediately evicted under -graph-budget-mb", cfg.Name)
+					ok.Add(1)
+					return
+				}
+				log.Printf("graph %q ready: n=%d m=%d rho=%d k=%d +%d shortcuts radii=%s source=%s (%v)",
+					entry.Name, entry.Info.Vertices, entry.Info.Edges, entry.Info.Rho,
+					entry.Info.K, entry.Info.ShortcutsAdded, entry.Info.RadiiSource,
+					entry.Info.Source, time.Since(t0).Round(time.Millisecond))
+				ok.Add(1)
+			}(cfg)
 		}
+		wg.Wait()
+		return int(ok.Load())
 	}
 
 	var reqLogger *slog.Logger
@@ -220,10 +291,15 @@ func main() {
 		AutoLandmarks: *autoLandmarks,
 		SolveTimeout:  effTimeout,
 		QueueDepth:    *maxQueue,
+		AdminToken:    *adminToken,
 	})
 
 	if *selftest {
-		loadGraphs()
+		// The smoke test queries every configured graph; a partial load
+		// would fail it confusingly later, so be strict here.
+		if loaded := loadGraphs(); loaded < len(cfgs) {
+			fail("selftest: %d of %d graphs failed to load", len(cfgs)-loaded, len(cfgs))
+		}
 		report, err := server.LoadSmoke(srv, server.SmokeConfig{
 			Queries: *selftestQueries,
 			Clients: *selftestClients,
@@ -273,9 +349,46 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}()
-	loadGraphs()
+
+	// The admin API gets its own (normally loopback) listener so graph
+	// mutation never rides on a client-reachable port unless the operator
+	// opted into -admin-token.
+	if *adminAddr != "" {
+		adminSrv := &http.Server{
+			Addr:         *adminAddr,
+			Handler:      srv.AdminHandler(),
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 5 * time.Minute, // reload blocks while the new epoch builds
+		}
+		go func() {
+			log.Printf("admin API listening on %s", *adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin serve: %v", err)
+			}
+		}()
+	}
+
+	loaded := loadGraphs()
+	switch {
+	case loaded == 0:
+		// Nothing can serve: dying loudly beats squatting on the port
+		// answering 503s until someone notices.
+		fail("all %d graphs failed to load", len(cfgs))
+	case loaded < len(cfgs) && *requireAllGraphs:
+		fail("%d of %d graphs failed to load (-require-all-graphs)", len(cfgs)-loaded, len(cfgs))
+	case loaded < len(cfgs):
+		log.Printf("degraded: %d of %d graphs failed to load; serving the rest (see /readyz and /v1/graphs)",
+			len(cfgs)-loaded, len(cfgs))
+	}
 	srv.SetReady(true)
 	log.Printf("ready: %d graphs serving", reg.Len())
+
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	if *watch > 0 {
+		log.Printf("watching file-backed graph sources every %v", *watch)
+		go reg.Watch(watchCtx, *watch)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -171,11 +171,25 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error { return graph.WriteSnapshot(
 // ReadSnapshot parses a snapshot, verifying its checksum and invariants.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) { return graph.ReadSnapshot(r) }
 
-// WriteSnapshotFile atomically writes s to path (temp file + rename).
+// WriteSnapshotFile writes s to path crash-safely (temp file + fsync +
+// rename + directory fsync): a crash at any point leaves either the old
+// complete snapshot or the new one, never a torn file.
 func WriteSnapshotFile(path string, s *Snapshot) error { return graph.WriteSnapshotFile(path, s) }
 
 // ReadSnapshotFile loads the snapshot at path and reports its file size.
 func ReadSnapshotFile(path string) (*Snapshot, int64, error) { return graph.ReadSnapshotFile(path) }
+
+// Snapshot load failures are classified so operators can tell a
+// partially copied file from a damaged one: errors.Is(err,
+// ErrSnapshotTruncated) means the file ends before its declared
+// sections (re-fetch or re-pack fixes it); ErrSnapshotCorrupt means the
+// bytes are all there but fail checksum or structural validation
+// (rebuild the snapshot). Both are quarantinable — the serving registry
+// keeps the previous epoch and retries with backoff.
+var (
+	ErrSnapshotTruncated = graph.ErrSnapshotTruncated
+	ErrSnapshotCorrupt   = graph.ErrSnapshotCorrupt
+)
 
 // --- generators ----------------------------------------------------------
 

@@ -34,6 +34,11 @@ const (
 	// SiteSnapshotLoad fires at the top of registry entry construction
 	// (BuildEntry), before any file is opened or graph generated.
 	SiteSnapshotLoad = "snapshot-load"
+	// SiteReload fires at the top of a registry hot reload (admin
+	// endpoint, watcher, or cold-state reload), before the rebuild
+	// starts — the seam the chaos suite uses to fail a reload while the
+	// old epoch must keep serving.
+	SiteReload = "reload"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error, so

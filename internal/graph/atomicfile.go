@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file crash-safely: the payload goes to a
+// temporary file in the destination directory, is fsynced to disk,
+// renamed over path, and the directory entry is fsynced too. A crash at
+// any point leaves either the complete old file or the complete new
+// file — never a torn one — which is the invariant the snapshot loader's
+// truncation detection exists to back up, not to replace: torn files
+// still happen on foreign filesystems, partial copies, and writers that
+// bypass this helper.
+//
+// write receives the temporary file as an io.Writer and must produce
+// the full payload; any error it returns aborts the write and removes
+// the temporary file.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// The temp file is removed on every failure path; once the rename
+	// succeeds the name no longer exists and the remove is a no-op.
+	defer os.Remove(tmpName)
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// fsync the payload BEFORE the rename: a rename can be durable while
+	// the data it points at is not, which is exactly the torn-file crash
+	// the tmp+rename dance is supposed to prevent.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp's restrictive 0600 would survive the rename; snapshots
+	// are data files read by other users (e.g. a daemon service account).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+// Filesystems that cannot fsync a directory (some network mounts) make
+// the open or sync fail; that is reported, not swallowed, because a
+// caller relying on crash-safety needs to know it did not get it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -3,13 +3,48 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 )
+
+// Snapshot load failures come in two distinct shapes and callers treat
+// them differently, so the loader classifies every error it returns:
+//
+//   - ErrSnapshotTruncated: the file ends before its declared payload —
+//     a crash mid-write by a writer that bypassed AtomicWriteFile, a
+//     partial copy, a torn download. The original file may still exist
+//     elsewhere; re-fetching is the likely fix.
+//   - ErrSnapshotCorrupt: the bytes are all there but wrong — a failed
+//     checksum, a bit flip, an invariant violation. Re-reading will not
+//     help; the artifact must be rebuilt.
+//
+// A serving registry quarantines both (the graph keeps its old epoch),
+// but the operator-facing health report names the class so the fix is
+// obvious from /v1/graphs alone.
+var (
+	ErrSnapshotTruncated = errors.New("snapshot truncated")
+	ErrSnapshotCorrupt   = errors.New("snapshot corrupt")
+)
+
+// snapReadErr classifies a section-read failure: a short read means the
+// file ends inside the section (truncation); any other IO error passes
+// through unclassified.
+func snapReadErr(section string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("graph: %w in %s", ErrSnapshotTruncated, section)
+	}
+	return fmt.Errorf("graph: snapshot %s: %w", section, err)
+}
+
+// snapCorruptf builds a corruption error: the bytes were readable but
+// violate a structural invariant of the format.
+func snapCorruptf(format string, args ...any) error {
+	return fmt.Errorf("graph: %w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+}
 
 // Snapshot is the on-disk unit of graph persistence: a CSR graph plus,
 // optionally, the artifacts of (k, ρ)-preprocessing — the per-vertex
@@ -234,17 +269,17 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 
 	var magic uint64
 	if err := binary.Read(in, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+		return nil, snapReadErr("header", err)
 	}
 	if magic != snapMagic {
-		return nil, fmt.Errorf("graph: bad snapshot magic %#x", magic)
+		return nil, snapCorruptf("bad snapshot magic %#x", magic)
 	}
 	var version, flags uint32
 	var n, arcs, origArcs uint64
 	var rho, k, hlen uint32
 	for _, p := range []any{&version, &flags, &n, &arcs, &origArcs, &rho, &k, &hlen} {
 		if err := binary.Read(in, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("graph: snapshot header: %w", err)
+			return nil, snapReadErr("header", err)
 		}
 	}
 	if version != snapVersion {
@@ -255,13 +290,13 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	}
 	const maxReasonable = 1 << 34
 	if n > maxReasonable || arcs > maxReasonable || origArcs > maxReasonable {
-		return nil, fmt.Errorf("graph: implausible snapshot sizes n=%d arcs=%d origArcs=%d", n, arcs, origArcs)
+		return nil, snapCorruptf("implausible snapshot sizes n=%d arcs=%d origArcs=%d", n, arcs, origArcs)
 	}
 	if flags&snapFlagOriginal == 0 && origArcs != 0 {
-		return nil, fmt.Errorf("graph: snapshot declares %d original arcs without the original-graph flag", origArcs)
+		return nil, snapCorruptf("snapshot declares %d original arcs without the original-graph flag", origArcs)
 	}
 	if hlen > maxHeuristicLen {
-		return nil, fmt.Errorf("graph: implausible heuristic name length %d", hlen)
+		return nil, snapCorruptf("implausible heuristic name length %d", hlen)
 	}
 	// lmKSized is the landmark count implied by the file size (-1 when
 	// the size is unknown); the payload's count field must agree.
@@ -285,17 +320,26 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 			// must match it.
 			rem := maxBytes - need - 4
 			per := int64(4) + int64(n)*8
-			if rem < 0 || per <= 0 || rem%per != 0 {
-				return nil, fmt.Errorf("graph: snapshot landmark section size %d does not fit %d-vertex vectors", maxBytes-need, n)
+			if rem < 0 {
+				return nil, fmt.Errorf("graph: %w: landmark section missing %d bytes", ErrSnapshotTruncated, -rem)
+			}
+			if per <= 0 || rem%per != 0 {
+				return nil, snapCorruptf("snapshot landmark section size %d does not fit %d-vertex vectors", maxBytes-need, n)
 			}
 			lmKSized = rem / per
-		} else if need != maxBytes {
-			return nil, fmt.Errorf("graph: snapshot header declares %d bytes but file has %d", need, maxBytes)
+		} else if maxBytes < need {
+			// The file ends before its own declared payload: the signature
+			// of a torn write (a crash between write and rename on a
+			// writer without AtomicWriteFile) or a partial copy.
+			return nil, fmt.Errorf("graph: %w: header declares %d bytes but file has only %d",
+				ErrSnapshotTruncated, need, maxBytes)
+		} else if maxBytes > need {
+			return nil, snapCorruptf("snapshot carries %d trailing bytes past its declared %d", maxBytes-need, need)
 		}
 	}
 	hbuf := make([]byte, hlen)
 	if _, err := io.ReadFull(in, hbuf); err != nil {
-		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+		return nil, snapReadErr("heuristic name", err)
 	}
 
 	s := &Snapshot{
@@ -310,13 +354,13 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	if flags&snapFlagRadii != 0 {
 		s.Radii = make([]float64, n)
 		if err := binary.Read(in, binary.LittleEndian, s.Radii); err != nil {
-			return nil, fmt.Errorf("graph: snapshot radii: %w", err)
+			return nil, snapReadErr("radii", err)
 		}
 		for _, rad := range s.Radii {
 			// The radii-persistence contract: non-negative finite values
 			// only (see internal/preprocess).
 			if math.IsNaN(rad) || math.IsInf(rad, 0) || rad < 0 {
-				return nil, fmt.Errorf("graph: snapshot has invalid radius %v", rad)
+				return nil, snapCorruptf("snapshot has invalid radius %v", rad)
 			}
 		}
 	}
@@ -328,7 +372,7 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	if flags&snapFlagPerm != 0 {
 		s.Perm = make([]V, n)
 		if err := binary.Read(in, binary.LittleEndian, s.Perm); err != nil {
-			return nil, fmt.Errorf("graph: snapshot permutation: %w", err)
+			return nil, snapReadErr("permutation", err)
 		}
 		// A corrupt permutation would silently swap identities on every
 		// query answer; validate bijectivity at load time like every
@@ -336,7 +380,7 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 		seen := make([]bool, n)
 		for i, p := range s.Perm {
 			if p < 0 || uint64(p) >= n || seen[p] {
-				return nil, fmt.Errorf("graph: snapshot permutation corrupt at index %d (maps to %d)", i, p)
+				return nil, snapCorruptf("snapshot permutation corrupt at index %d (maps to %d)", i, p)
 			}
 			seen[p] = true
 		}
@@ -344,39 +388,39 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	if flags&snapFlagLandmarks != 0 {
 		var lmK uint32
 		if err := binary.Read(in, binary.LittleEndian, &lmK); err != nil {
-			return nil, fmt.Errorf("graph: snapshot landmark count: %w", err)
+			return nil, snapReadErr("landmark count", err)
 		}
 		if lmK == 0 || lmK > maxSnapshotLandmarks || uint64(lmK) > n {
-			return nil, fmt.Errorf("graph: implausible snapshot landmark count %d (n=%d)", lmK, n)
+			return nil, snapCorruptf("implausible snapshot landmark count %d (n=%d)", lmK, n)
 		}
 		if lmKSized >= 0 && int64(lmK) != lmKSized {
-			return nil, fmt.Errorf("graph: snapshot declares %d landmarks but file size fits %d", lmK, lmKSized)
+			return nil, snapCorruptf("snapshot declares %d landmarks but file size fits %d", lmK, lmKSized)
 		}
 		s.Landmarks = make([]V, lmK)
 		if err := binary.Read(in, binary.LittleEndian, s.Landmarks); err != nil {
-			return nil, fmt.Errorf("graph: snapshot landmark vertices: %w", err)
+			return nil, snapReadErr("landmark vertices", err)
 		}
 		lmSeen := make(map[V]bool, lmK)
 		for i, v := range s.Landmarks {
 			if v < 0 || uint64(v) >= n || lmSeen[v] {
-				return nil, fmt.Errorf("graph: snapshot landmark %d corrupt at index %d", v, i)
+				return nil, snapCorruptf("snapshot landmark %d corrupt at index %d", v, i)
 			}
 			lmSeen[v] = true
 		}
 		s.LandmarkDist = make([]float64, uint64(lmK)*n)
 		if err := binary.Read(in, binary.LittleEndian, s.LandmarkDist); err != nil {
-			return nil, fmt.Errorf("graph: snapshot landmark vectors: %w", err)
+			return nil, snapReadErr("landmark vectors", err)
 		}
 		for i, d := range s.LandmarkDist {
 			// +Inf is meaningful (vertex outside the landmark's
 			// component); NaN and negatives are corruption.
 			if math.IsNaN(d) || d < 0 {
-				return nil, fmt.Errorf("graph: snapshot landmark distance %v at entry %d", d, i)
+				return nil, snapCorruptf("snapshot landmark distance %v at entry %d", d, i)
 			}
 		}
 		for i, v := range s.Landmarks {
 			if s.LandmarkDist[uint64(i)*n+uint64(v)] != 0 {
-				return nil, fmt.Errorf("graph: snapshot landmark %d has nonzero self-distance", v)
+				return nil, snapCorruptf("snapshot landmark %d has nonzero self-distance", v)
 			}
 		}
 	}
@@ -384,10 +428,10 @@ func readSnapshotSized(r io.Reader, maxBytes int64) (*Snapshot, error) {
 	sum := crc.Sum32() // everything checksummed so far; trailer comes off br directly
 	var want uint32
 	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
-		return nil, fmt.Errorf("graph: snapshot checksum: %w", err)
+		return nil, snapReadErr("checksum trailer", err)
 	}
 	if sum != want {
-		return nil, fmt.Errorf("graph: snapshot checksum mismatch: computed %#x, stored %#x", sum, want)
+		return nil, snapCorruptf("snapshot checksum mismatch: computed %#x, stored %#x", sum, want)
 	}
 	return s, nil
 }
@@ -401,50 +445,37 @@ func readSnapshotCSR(r io.Reader, n, arcs int) (*CSR, error) {
 	}
 	for _, sec := range []any{g.Off, g.Adj, g.W} {
 		if err := binary.Read(r, binary.LittleEndian, sec); err != nil {
-			return nil, fmt.Errorf("graph: snapshot arrays: %w", err)
+			return nil, snapReadErr("CSR arrays", err)
 		}
 	}
 	if g.Off[0] != 0 || g.Off[n] != int64(arcs) {
-		return nil, fmt.Errorf("graph: snapshot offsets corrupt: Off[0]=%d Off[n]=%d arcs=%d", g.Off[0], g.Off[n], arcs)
+		return nil, snapCorruptf("snapshot offsets corrupt: Off[0]=%d Off[n]=%d arcs=%d", g.Off[0], g.Off[n], arcs)
 	}
 	for u := 0; u < n; u++ {
 		if g.Off[u] > g.Off[u+1] {
-			return nil, fmt.Errorf("graph: snapshot offsets not monotone at vertex %d", u)
+			return nil, snapCorruptf("snapshot offsets not monotone at vertex %d", u)
 		}
 	}
 	for i, v := range g.Adj {
 		if v < 0 || int(v) >= n {
-			return nil, fmt.Errorf("graph: snapshot arc target %d out of range [0, %d)", v, n)
+			return nil, snapCorruptf("snapshot arc target %d out of range [0, %d)", v, n)
 		}
 		if w := g.W[i]; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-			return nil, fmt.Errorf("graph: snapshot has invalid weight %v", g.W[i])
+			return nil, snapCorruptf("snapshot has invalid weight %v", g.W[i])
 		}
 	}
 	return g.finalize(), nil
 }
 
-// WriteSnapshotFile writes s to path via a temporary file and rename, so
-// a crash mid-write never leaves a truncated snapshot behind.
+// WriteSnapshotFile writes s to path crash-safely: temp file, fsync,
+// rename, directory fsync (AtomicWriteFile). A crash at any point
+// leaves either the old complete snapshot or the new one — the load
+// side's ErrSnapshotTruncated detection covers writers that bypassed
+// this path.
 func WriteSnapshotFile(path string, s *Snapshot) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := WriteSnapshot(tmp, s); err != nil {
-		tmp.Close()
-		return err
-	}
-	// CreateTemp's restrictive 0600 would survive the rename; snapshots
-	// are data files read by other users (e.g. a daemon service account).
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteSnapshot(w, s)
+	})
 }
 
 // ReadSnapshotFile loads the snapshot at path and reports its file size.

@@ -5,9 +5,16 @@ import (
 	"sync"
 )
 
-// cacheKey identifies one cached distance vector: a (graph, source) pair.
+// cacheKey identifies one cached distance vector: a (graph, epoch,
+// source) triple. The epoch makes every consumer of the cache — and
+// the flight group, which shares the key type — epoch-correct by
+// construction: a vector solved on epoch N can never answer a query
+// that resolved epoch N+1, because the keys differ. InvalidateGraph
+// (called on every swap) reclaims the dead epoch's memory; correctness
+// never depends on it.
 type cacheKey struct {
 	graph string
+	epoch uint64
 	src   int32
 }
 

@@ -1,0 +1,645 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"radiusstep/internal/fault"
+
+	rs "radiusstep"
+)
+
+// packWeighted writes a serving-ready snapshot of a 12x12 grid whose
+// edges ALL weigh exactly w, so every shortest distance is a multiple
+// of w — a reload that changes w changes every answer proportionally,
+// which is how the tests below detect epoch mixing. Sentinel radii skip
+// preprocessing, keeping reloads fast.
+func packWeighted(t *testing.T, path string, w int) {
+	t.Helper()
+	g := rs.WithUniformIntWeights(rs.Grid2D(12, 12), w, w, 1)
+	radii := make([]float64, g.NumVertices())
+	for i := range radii {
+		radii[i] = 4
+	}
+	if err := rs.WriteSnapshotFile(path, &rs.Snapshot{G: g, Radii: radii, Rho: 8, K: 1, Heuristic: "direct"}); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+}
+
+// newLifecycleServer loads the given specs through the epoch-versioned
+// registry (the daemon's path, including degraded registration of
+// failing specs) and serves them over HTTP.
+func newLifecycleServer(t *testing.T, cfg Config, specs ...GraphConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	for _, gc := range specs {
+		_ = reg.LoadConfig(gc) // failures register quarantined — intended
+	}
+	s := New(reg, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// queryTargets fetches distances to vertices 1 and 2 of the grid (w and
+// 2w from source 0) and returns status, epoch, and both distances.
+func queryTargets(t *testing.T, ts *httptest.Server, graph string) (code int, epoch uint64, d1, d2 float64) {
+	t.Helper()
+	body := fmt.Sprintf(`{"graph":%q,"source":0,"targets":[1,2]}`, graph)
+	r, err := ts.Client().Post(ts.URL+"/v1/distances", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer r.Body.Close()
+	var resp distancesResponse
+	if derr := json.NewDecoder(r.Body).Decode(&resp); derr != nil && r.StatusCode == http.StatusOK {
+		t.Fatalf("decode: %v", derr)
+	}
+	if len(resp.Targets) == 2 {
+		d1, d2 = resp.Targets[0].Distance, resp.Targets[1].Distance
+	}
+	return r.StatusCode, resp.Epoch, d1, d2
+}
+
+// TestHotReloadSwapsEpoch: a reload atomically replaces the serving
+// epoch — answers change, the epoch counter moves, and the distance
+// cache cannot serve the old epoch's vector afterward (its key embeds
+// the dead epoch).
+func TestHotReloadSwapsEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+	s, ts := newLifecycleServer(t, Config{CacheBytes: 1 << 20}, GraphConfig{Name: "g", Snapshot: path})
+
+	code, epoch1, d1, d2 := queryTargets(t, ts, "g")
+	if code != http.StatusOK || d1 != 100 || d2 != 200 {
+		t.Fatalf("before reload: code=%d d1=%v d2=%v, want 200/100/200", code, d1, d2)
+	}
+	// Prime the cache, then reload with doubled weights.
+	if code, _, _, _ := queryTargets(t, ts, "g"); code != http.StatusOK {
+		t.Fatalf("cache-priming query failed: %d", code)
+	}
+	packWeighted(t, path, 200)
+	if err := s.Registry().Reload("g"); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	code, epoch2, d1, d2 := queryTargets(t, ts, "g")
+	if code != http.StatusOK || d1 != 200 || d2 != 400 {
+		t.Fatalf("after reload: code=%d d1=%v d2=%v, want 200/200/400 — stale epoch served", code, d1, d2)
+	}
+	if epoch2 <= epoch1 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch1, epoch2)
+	}
+	if c := s.Registry().Counters(); c.Reloads != 1 {
+		t.Fatalf("reloads counter = %d, want 1", c.Reloads)
+	}
+	// The cached vector now carries the new epoch.
+	code, epoch3, d1, _ := queryTargets(t, ts, "g")
+	if code != http.StatusOK || epoch3 != epoch2 || d1 != 200 {
+		t.Fatalf("cached answer after reload: code=%d epoch=%d d1=%v, want %d/200", code, epoch3, d1, epoch2)
+	}
+}
+
+// TestReloadUnderLoadZeroStale is the tentpole's live drill: sustained
+// concurrent queries across repeated hot reloads, with ZERO failed
+// responses and zero torn answers. Torn epochs are detectable by
+// construction: all edges weigh w per epoch, so any 200 whose two
+// target distances are not (w, 2w) for a single w mixed two epochs.
+func TestReloadUnderLoadZeroStale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+	s, ts := newLifecycleServer(t, Config{CacheBytes: 1 << 20, Workers: 4}, GraphConfig{Name: "g", Snapshot: path})
+
+	var stop atomic.Bool
+	var queries, bad atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				code, epoch, d1, d2 := queryTargets(t, ts, "g")
+				queries.Add(1)
+				if code != http.StatusOK {
+					bad.Add(1)
+					continue
+				}
+				if epoch == 0 || (d1 != 100 && d1 != 200) || d2 != 2*d1 {
+					t.Errorf("torn/stale answer: epoch=%d d1=%v d2=%v", epoch, d1, d2)
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+
+	const reloads = 10
+	for i := 0; i < reloads; i++ {
+		w := 100
+		if i%2 == 0 {
+			w = 200
+		}
+		packWeighted(t, path, w)
+		if err := s.Registry().Reload("g"); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if q := queries.Load(); q < int64(reloads) {
+		t.Fatalf("only %d queries ran across %d reloads", q, reloads)
+	}
+	if b := bad.Load(); b != 0 {
+		t.Fatalf("%d failed/stale responses during reload-under-load (of %d)", b, queries.Load())
+	}
+	if c := s.Registry().Counters(); c.Reloads != reloads {
+		t.Fatalf("reloads counter = %d, want %d", c.Reloads, reloads)
+	}
+}
+
+// TestQuarantineKeepsOldEpochServing: a reload that fails validation
+// (truncated snapshot) must leave the previous epoch serving untouched,
+// mark the graph quarantined with the truncation class, count the
+// failure, and recover on the next good reload.
+func TestQuarantineKeepsOldEpochServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+	s, ts := newLifecycleServer(t, Config{}, GraphConfig{Name: "g", Snapshot: path})
+
+	_, epoch1, d1, _ := queryTargets(t, ts, "g")
+	if d1 != 100 {
+		t.Fatalf("baseline d1=%v, want 100", d1)
+	}
+
+	// Truncate the file in place and attempt a reload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatalf("truncate snapshot: %v", err)
+	}
+	rerr := s.Registry().Reload("g")
+	if rerr == nil {
+		t.Fatal("reload of truncated snapshot succeeded")
+	}
+	if !errors.Is(rerr, rs.ErrSnapshotTruncated) {
+		t.Fatalf("reload error %v, want ErrSnapshotTruncated in chain", rerr)
+	}
+
+	// Old epoch still serves the old answers.
+	code, epoch2, d1, _ := queryTargets(t, ts, "g")
+	if code != http.StatusOK || epoch2 != epoch1 || d1 != 100 {
+		t.Fatalf("after failed reload: code=%d epoch=%d d1=%v, want 200/%d/100", code, epoch2, d1, epoch1)
+	}
+	var h GraphHealth
+	for _, gh := range s.Registry().Health() {
+		if gh.Name == "g" {
+			h = gh
+		}
+	}
+	if h.State != GraphQuarantined || h.ErrorClass != "truncated" || h.Failures != 1 {
+		t.Fatalf("health = %+v, want quarantined/truncated/1", h)
+	}
+	if c := s.Registry().Counters(); c.LoadFailures != 1 {
+		t.Fatalf("loadFailures = %d, want 1", c.LoadFailures)
+	}
+	if got := s.Registry().QuarantinedCount(); got != 1 {
+		t.Fatalf("QuarantinedCount = %d, want 1", got)
+	}
+
+	// Fix the file; the next reload recovers and clears quarantine.
+	packWeighted(t, path, 300)
+	if err := s.Registry().Reload("g"); err != nil {
+		t.Fatalf("recovery reload: %v", err)
+	}
+	code, epoch3, d1, _ := queryTargets(t, ts, "g")
+	if code != http.StatusOK || epoch3 <= epoch1 || d1 != 300 {
+		t.Fatalf("after recovery: code=%d epoch=%d d1=%v, want 200/>%d/300", code, epoch3, d1, epoch1)
+	}
+	if got := s.Registry().QuarantinedCount(); got != 0 {
+		t.Fatalf("QuarantinedCount after recovery = %d, want 0", got)
+	}
+}
+
+// TestDegradedStartupAndReadyz: a failing spec registers quarantined
+// while a good one serves; /readyz reports degraded with per-graph
+// states; queries against the failed graph answer 503 with the cause,
+// against the good one 200.
+func TestDegradedStartupAndReadyz(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.snap")
+	packWeighted(t, good, 100)
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, []byte("RSSNAP01 but then garbage"), 0o644); err != nil {
+		t.Fatalf("write bad snapshot: %v", err)
+	}
+	_, ts := newLifecycleServer(t, Config{},
+		GraphConfig{Name: "good", Snapshot: good},
+		GraphConfig{Name: "bad", Snapshot: bad})
+
+	var body map[string]any
+	if code := getJSON(t, ts, "/readyz", &body); code != http.StatusOK {
+		t.Fatalf("degraded readyz: status %d, want 200 (one graph serves)", code)
+	}
+	if body["status"] != "degraded" {
+		t.Fatalf("readyz status %v, want degraded", body["status"])
+	}
+	per, _ := body["perGraph"].(map[string]any)
+	if per["good"] != GraphReady || per["bad"] != GraphFailed {
+		t.Fatalf("perGraph = %v, want good=ready bad=failed", per)
+	}
+
+	if code, _, d1, _ := queryTargets(t, ts, "good"); code != http.StatusOK || d1 != 100 {
+		t.Fatalf("good graph: code=%d d1=%v", code, d1)
+	}
+	code, _, _, _ := queryTargets(t, ts, "bad")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failed graph: code=%d, want 503", code)
+	}
+}
+
+// TestReadyzAllFailed: graphs registered but none serving is a 503 —
+// the daemon is not worth routing to.
+func TestReadyzAllFailed(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, ts := newLifecycleServer(t, Config{}, GraphConfig{Name: "bad", Snapshot: bad})
+	var body map[string]any
+	if code := getJSON(t, ts, "/readyz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with zero serving: %d, want 503", code)
+	}
+	if body["status"] != "unavailable" {
+		t.Fatalf("status %v, want unavailable", body["status"])
+	}
+}
+
+// TestBudgetEvictionAndColdReload: exceeding the registry budget evicts
+// the least-recently-queried graph to cold state; the next Acquire
+// answers ErrGraphReloading while a single background rebuild runs, and
+// the graph returns transparently.
+func TestBudgetEvictionAndColdReload(t *testing.T) {
+	dir := t.TempDir()
+	pa, pb := filepath.Join(dir, "a.snap"), filepath.Join(dir, "b.snap")
+	packWeighted(t, pa, 100)
+	packWeighted(t, pb, 100)
+
+	reg := NewRegistry()
+	if err := reg.LoadConfig(GraphConfig{Name: "a", Snapshot: pa}); err != nil {
+		t.Fatalf("load a: %v", err)
+	}
+	ea, _ := reg.Get("a")
+	// Budget fits one graph, not two: loading b must evict a (the LRU).
+	reg.SetBudget(estimateEntryBytes(ea) + estimateEntryBytes(ea)/2)
+	if err := reg.LoadConfig(GraphConfig{Name: "b", Snapshot: pb}); err != nil {
+		t.Fatalf("load b: %v", err)
+	}
+	if _, ok := reg.Get("a"); ok {
+		t.Fatal("a still serving; budget eviction did not fire")
+	}
+	if _, ok := reg.Get("b"); !ok {
+		t.Fatal("b (just loaded) was evicted — keep protection failed")
+	}
+	if c := reg.Counters(); c.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions)
+	}
+
+	// Cold acquire: 503-class error now, transparent reload shortly. The
+	// reload will evict b in turn (the budget still only fits one).
+	if _, err := reg.Acquire("a"); !errors.Is(err, ErrGraphReloading) {
+		t.Fatalf("cold acquire: %v, want ErrGraphReloading", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := reg.Acquire("a"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cold reload never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c := reg.Counters(); c.ColdReloads != 1 {
+		t.Fatalf("coldReloads = %d, want 1", c.ColdReloads)
+	}
+	if c := reg.Counters(); c.LoadFailures != 0 {
+		t.Fatalf("loadFailures = %d, want 0 — eviction is not failure", c.LoadFailures)
+	}
+}
+
+// TestWatcherReloadsOnMtimeAndBacksOffOnFailure drives probeAll ticks
+// synchronously: a fresher source mtime triggers a reload; a breaking
+// file quarantines; subsequent ticks within the backoff window skip the
+// rebuild (bounded probe rate), and a fixed file recovers on the next
+// due probe.
+func TestWatcherReloadsOnMtimeAndBacksOffOnFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+	reg := NewRegistry()
+	if err := reg.LoadConfig(GraphConfig{Name: "g", Snapshot: path}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	const interval = 50 * time.Millisecond
+
+	// Unchanged mtime: a tick must not reload.
+	reg.probeAll(interval)
+	if c := reg.Counters(); c.Reloads != 0 {
+		t.Fatalf("tick with unchanged mtime reloaded (%d)", c.Reloads)
+	}
+
+	// Fresher mtime: reload fires. Chtimes avoids mtime-granularity flakes.
+	packWeighted(t, path, 200)
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatalf("chtimes: %v", err)
+	}
+	reg.probeAll(interval)
+	if c := reg.Counters(); c.Reloads != 1 {
+		t.Fatalf("reloads after mtime bump = %d, want 1", c.Reloads)
+	}
+
+	// Break the file with a newer mtime: the next tick fails and
+	// quarantines...
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatalf("break file: %v", err)
+	}
+	future = future.Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatalf("chtimes: %v", err)
+	}
+	reg.probeAll(interval)
+	if c := reg.Counters(); c.LoadFailures != 1 {
+		t.Fatalf("loadFailures after broken tick = %d, want 1", c.LoadFailures)
+	}
+	// ...and an immediate second tick is inside the backoff window: no
+	// second rebuild attempt.
+	reg.probeAll(interval)
+	if c := reg.Counters(); c.LoadFailures != 1 {
+		t.Fatalf("backoff did not hold: loadFailures = %d, want still 1", c.LoadFailures)
+	}
+	// The old epoch still serves throughout quarantine.
+	if _, ok := reg.Get("g"); !ok {
+		t.Fatal("quarantined graph stopped serving its old epoch")
+	}
+
+	// Fix the file and wait out the backoff (1 interval after 1 failure):
+	// the next due tick recovers.
+	packWeighted(t, path, 300)
+	future = future.Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatalf("chtimes: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counters().Reloads < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never recovered the fixed file")
+		}
+		reg.probeAll(interval)
+		time.Sleep(interval / 2)
+	}
+	if got := reg.QuarantinedCount(); got != 0 {
+		t.Fatalf("QuarantinedCount after recovery = %d, want 0", got)
+	}
+}
+
+// --- admin surface ---------------------------------------------------------
+
+func adminDo(t *testing.T, ts *httptest.Server, method, path, token string, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	r, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer r.Body.Close()
+	raw, _ := io.ReadAll(r.Body)
+	return r.StatusCode, string(raw)
+}
+
+// TestAdminTokenGate: without a configured token the admin routes do
+// not exist on the query port at all; with one, requests need the exact
+// bearer token.
+func TestAdminTokenGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+
+	// No token configured: the routes are absent (404), not just denied.
+	_, tsNo := newLifecycleServer(t, Config{}, GraphConfig{Name: "g", Snapshot: path})
+	if code, _ := adminDo(t, tsNo, "POST", "/v1/admin/reload", "", `{"graph":"g"}`); code != http.StatusNotFound {
+		t.Fatalf("admin route without token config: %d, want 404", code)
+	}
+
+	s, ts := newLifecycleServer(t, Config{AdminToken: "sekret"}, GraphConfig{Name: "g", Snapshot: path})
+	for _, token := range []string{"", "wrong"} {
+		if code, _ := adminDo(t, ts, "POST", "/v1/admin/reload", token, `{"graph":"g"}`); code != http.StatusForbidden {
+			t.Fatalf("token %q: %d, want 403", token, code)
+		}
+	}
+	if c := s.Registry().Counters(); c.Reloads != 0 {
+		t.Fatal("unauthorized request reached the registry")
+	}
+	if code, body := adminDo(t, ts, "POST", "/v1/admin/reload", "sekret", `{"graph":"g"}`); code != http.StatusOK {
+		t.Fatalf("authorized reload: %d (%s)", code, body)
+	}
+	if c := s.Registry().Counters(); c.Reloads != 1 {
+		t.Fatalf("reloads = %d, want 1", c.Reloads)
+	}
+}
+
+// TestAdminHandlerLifecycle exercises the private-listener surface end
+// to end: reload (200 / 404 / 422-quarantine), load (200 / 409 / 400),
+// and remove (200 / 404).
+func TestAdminHandlerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.snap")
+	packWeighted(t, path, 100)
+	s, _ := newLifecycleServer(t, Config{}, GraphConfig{Name: "g", Snapshot: path})
+	admin := httptest.NewServer(s.AdminHandler())
+	t.Cleanup(admin.Close)
+
+	if code, body := adminDo(t, admin, "POST", "/v1/admin/reload", "", `{"graph":"g"}`); code != http.StatusOK {
+		t.Fatalf("reload: %d (%s)", code, body)
+	}
+	if code, _ := adminDo(t, admin, "POST", "/v1/admin/reload", "", `{"graph":"nope"}`); code != http.StatusNotFound {
+		t.Fatalf("reload unknown: %d, want 404", code)
+	}
+
+	// A reload failure answers 422 and reports the quarantine.
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:100], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	code, body := adminDo(t, admin, "POST", "/v1/admin/reload", "", `{"graph":"g"}`)
+	if code != http.StatusUnprocessableEntity || !strings.Contains(body, GraphQuarantined) {
+		t.Fatalf("reload of broken file: %d (%s), want 422 + quarantined health", code, body)
+	}
+	packWeighted(t, path, 100) // restore
+
+	// Load a second graph by spec string; duplicates conflict.
+	p2 := filepath.Join(dir, "h.snap")
+	packWeighted(t, p2, 100)
+	spec := fmt.Sprintf(`{"spec":"h=snapshot=%s"}`, p2)
+	if code, body := adminDo(t, admin, "POST", "/v1/admin/load", "", spec); code != http.StatusOK {
+		t.Fatalf("load: %d (%s)", code, body)
+	}
+	if _, ok := s.Registry().Get("h"); !ok {
+		t.Fatal("loaded graph not serving")
+	}
+	if code, _ := adminDo(t, admin, "POST", "/v1/admin/load", "", spec); code != http.StatusConflict {
+		t.Fatalf("duplicate load: %d, want 409", code)
+	}
+	if code, _ := adminDo(t, admin, "POST", "/v1/admin/load", "", `{"spec":"x=snapshot=/nope","name":"x"}`); code != http.StatusBadRequest {
+		t.Fatalf("spec+fields load: %d, want 400", code)
+	}
+
+	if code, _ := adminDo(t, admin, "DELETE", "/v1/admin/graphs/h", "", ""); code != http.StatusOK {
+		t.Fatalf("remove: %d", code)
+	}
+	if _, ok := s.Registry().Get("h"); ok {
+		t.Fatal("removed graph still serving")
+	}
+	if code, _ := adminDo(t, admin, "DELETE", "/v1/admin/graphs/h", "", ""); code != http.StatusNotFound {
+		t.Fatalf("double remove: %d, want 404", code)
+	}
+}
+
+// TestChaosReloadUnderLoad extends the chaos suite to the reload seam:
+// faults injected at SiteReload while clients hammer the graph. Old
+// epochs must keep serving byte-identical answers, the quarantine
+// counters must fire, and nothing may leak.
+func TestChaosReloadUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fault.Clear()
+	t.Cleanup(fault.Clear)
+
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+	s, ts := newLifecycleServer(t, Config{CacheBytes: 0, Workers: 4}, GraphConfig{Name: "g", Snapshot: path})
+
+	// No-fault baseline for a fixed query. The comparison key excludes
+	// the epoch field: successful reloads of the SAME file bump the
+	// epoch but must reproduce identical distances, so any distance
+	// divergence is a real stale/torn answer.
+	get := func() (int, string) {
+		r, err := ts.Client().Post(ts.URL+"/v1/distances", "application/json",
+			strings.NewReader(`{"graph":"g","source":0,"targets":[1,2,143]}`))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer r.Body.Close()
+		var resp distancesResponse
+		if derr := json.NewDecoder(r.Body).Decode(&resp); derr != nil {
+			return r.StatusCode, "decode error: " + derr.Error()
+		}
+		return r.StatusCode, fmt.Sprint(resp.Targets)
+	}
+	code, baseline := get()
+	if code != http.StatusOK {
+		t.Fatalf("baseline: %d", code)
+	}
+
+	fault.Inject(fault.SiteReload, fault.Plan{Err: errors.New("reload sabotaged"), Limit: 3})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var served, diverged atomic.Int64
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				code, body := get()
+				if code == http.StatusOK {
+					served.Add(1)
+					if body != baseline {
+						diverged.Add(1)
+					}
+				} else {
+					// Reload faults must never fail queries: the old epoch
+					// serves throughout.
+					t.Errorf("query failed during sabotaged reloads: %d (%s)", code, body)
+				}
+			}
+		}()
+	}
+	var sawFailure bool
+	for i := 0; i < 5; i++ {
+		if err := s.Registry().Reload("g"); err != nil {
+			sawFailure = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if !sawFailure {
+		t.Fatal("injected reload fault never fired")
+	}
+	if fault.Fired(fault.SiteReload) == 0 {
+		t.Fatal("SiteReload never checked")
+	}
+	if served.Load() == 0 {
+		t.Fatal("no queries served during the drill")
+	}
+	if d := diverged.Load(); d != 0 {
+		t.Fatalf("%d responses diverged from baseline (epoch field aside, distances must be identical)", d)
+	}
+	if c := s.Registry().Counters(); c.LoadFailures != 3 {
+		t.Fatalf("loadFailures = %d, want exactly the fault limit 3", c.LoadFailures)
+	}
+	// The limit exhausted: reloads 4 and 5 succeeded (same file, new
+	// epochs), clearing quarantine.
+	if c := s.Registry().Counters(); c.Reloads < 1 {
+		t.Fatalf("reloads = %d, want >= 1 after the fault limit", c.Reloads)
+	}
+	if got := s.Registry().QuarantinedCount(); got != 0 {
+		t.Fatalf("QuarantinedCount = %d, want 0 after recovery", got)
+	}
+
+	ts.Client().CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReloadSameFileKeepsDistances pins the assumption the chaos drill
+// leans on: reloading an unchanged file yields a new epoch with
+// identical distances.
+func TestReloadSameFileKeepsDistances(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.snap")
+	packWeighted(t, path, 100)
+	s, ts := newLifecycleServer(t, Config{}, GraphConfig{Name: "g", Snapshot: path})
+	_, e1, d1a, d2a := queryTargets(t, ts, "g")
+	if err := s.Registry().Reload("g"); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	_, e2, d1b, d2b := queryTargets(t, ts, "g")
+	if e2 <= e1 || d1a != d1b || d2a != d2b {
+		t.Fatalf("same-file reload: epochs %d->%d, distances (%v,%v)->(%v,%v)", e1, e2, d1a, d2a, d1b, d2b)
+	}
+}

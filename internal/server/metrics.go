@@ -25,6 +25,10 @@ var endpointNames = map[string]string{
 	"healthz":   "/healthz",
 	"readyz":    "/readyz",
 	"metrics":   "/metrics",
+
+	"adminReload": "/v1/admin/reload",
+	"adminLoad":   "/v1/admin/load",
+	"adminRemove": "/v1/admin/remove",
 }
 
 // statusClasses are the error-class label values (satellite of the
@@ -136,6 +140,29 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.NewGaugeFunc("sssp_pool_queue_depth",
 		"Requests currently waiting for a solve slot (the bounded admission queue).",
 		func() float64 { return float64(s.pool.Stats().Waiting) })
+
+	// Graph-lifecycle families, sampled from the registry's counters at
+	// scrape time. A load failure here means a graph is quarantined (still
+	// serving its previous epoch) or failed (never served) — the
+	// sssp_graphs_quarantined gauge says whether the condition persists.
+	r.NewCounterFunc("sssp_graph_load_failures_total",
+		"Graph load/reload attempts rejected by validation (torn snapshot, bad checksum, build error).",
+		func() float64 { return float64(s.registry.Counters().LoadFailures) })
+	r.NewCounterFunc("sssp_graph_reloads_total",
+		"Successful hot reloads: a new graph epoch atomically replaced a serving one.",
+		func() float64 { return float64(s.registry.Counters().Reloads) })
+	r.NewCounterFunc("sssp_graph_evictions_total",
+		"Graph epochs evicted to cold state by the memory budget.",
+		func() float64 { return float64(s.registry.Counters().Evictions) })
+	r.NewCounterFunc("sssp_graph_cold_reloads_total",
+		"Budget-evicted graphs reloaded on demand by a query.",
+		func() float64 { return float64(s.registry.Counters().ColdReloads) })
+	r.NewGaugeFunc("sssp_graphs_quarantined",
+		"Graphs whose most recent load attempt failed (serving a stale epoch or nothing).",
+		func() float64 { return float64(s.registry.QuarantinedCount()) })
+	r.NewGaugeFunc("sssp_graphs_serving",
+		"Graphs with a live epoch answering queries right now.",
+		func() float64 { serving, _ := s.registry.ReadyCount(); return float64(serving) })
 	m.frontierOps = r.NewCounterVec("sssp_frontier_ops_total",
 		"Ordered-frontier substrate operations across frontier-backed solves, by op.", "op")
 

@@ -6,10 +6,8 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"radiusstep/internal/fault"
@@ -132,63 +130,18 @@ type GraphInfo struct {
 	Landmarks int `json:"landmarks,omitempty"`
 }
 
-// Entry binds a name to a query backend and its metadata.
+// Entry binds a name to a query backend and its metadata. An Entry is
+// one immutable epoch of a graph: the registry publishes it through an
+// atomic pointer and never mutates it afterward, so a query that
+// pinned an Entry computes against a consistent snapshot no matter how
+// many reloads happen mid-solve. Epoch is the registry-assigned,
+// process-wide monotonic version (zero only for entries never
+// published through a registry).
 type Entry struct {
 	Name    string
 	Backend Backend
 	Info    GraphInfo
-}
-
-// Registry maps graph names to preprocessed backends so multiple graph
-// deployments coexist in one daemon.
-type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
-}
-
-func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*Entry)}
-}
-
-// Add registers e, rejecting duplicate names.
-func (r *Registry) Add(e *Entry) error {
-	if e == nil || e.Name == "" || e.Backend == nil {
-		return fmt.Errorf("server: invalid registry entry")
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[e.Name]; ok {
-		return fmt.Errorf("server: duplicate graph name %q", e.Name)
-	}
-	r.entries[e.Name] = e
-	return nil
-}
-
-// Get looks up a graph by name.
-func (r *Registry) Get(name string) (*Entry, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[name]
-	return e, ok
-}
-
-// List returns all entries sorted by name.
-func (r *Registry) List() []*Entry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*Entry, 0, len(r.entries))
-	for _, e := range r.entries {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-// Len returns the number of registered graphs.
-func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.entries)
+	Epoch   uint64
 }
 
 // solverBackend adapts *radiusstep.Solver to the Backend interface.
@@ -669,7 +622,9 @@ func buildEntry(cfg GraphConfig) (*Entry, error) {
 	case cfg.Snapshot != "":
 		snap, size, err := rs.ReadSnapshotFile(cfg.Snapshot)
 		if err != nil {
-			return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, err)
+			// %w: the truncated/corrupt classification must survive to
+			// the registry's quarantine health report.
+			return nil, fmt.Errorf("server: graph %q: %w", cfg.Name, err)
 		}
 		return buildFromSnapshot(cfg, opt, snap, size, "snapshot:"+cfg.Snapshot, start)
 
@@ -688,7 +643,7 @@ func buildEntry(cfg GraphConfig) (*Entry, error) {
 		if rs.DetectGraphFormat(prefix) == rs.FormatSnapshot {
 			snap, size, serr := rs.ReadSnapshotFile(cfg.File)
 			if serr != nil {
-				return nil, fmt.Errorf("server: graph %q: %v", cfg.Name, serr)
+				return nil, fmt.Errorf("server: graph %q: %w", cfg.Name, serr)
 			}
 			return buildFromSnapshot(cfg, opt, snap, size, "file:"+cfg.File, start)
 		}

@@ -72,6 +72,12 @@ type Config struct {
 	// before the server sheds load with 503 + Retry-After (<= 0 selects
 	// 8 waiters per worker).
 	QueueDepth int
+	// AdminToken, when non-empty, mounts the /v1/admin/* lifecycle
+	// endpoints (reload, load, remove) on the main handler, guarded by
+	// this bearer token. Leave empty to keep admin off the query port —
+	// the daemon can still serve AdminHandler on a separate private
+	// listener (-admin-addr).
+	AdminToken string
 }
 
 // Server serves shortest-path queries over a Registry. Create with New,
@@ -85,6 +91,7 @@ type Server struct {
 	logger        *slog.Logger
 	autoLandmarks bool
 	solveTimeout  time.Duration
+	adminToken    string
 	start         time.Time
 
 	// Lifecycle: ready gates /readyz (New starts ready; the daemon
@@ -117,11 +124,16 @@ func New(reg *Registry, cfg Config) *Server {
 		logger:        cfg.Logger,
 		autoLandmarks: cfg.AutoLandmarks,
 		solveTimeout:  timeout,
+		adminToken:    cfg.AdminToken,
 		start:         time.Now(),
 	}
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	s.ready.Store(true)
 	s.metrics = newServerMetrics(s)
+	// Epoch-scoped cache invalidation: a swap, eviction, or removal
+	// drops only that graph's vectors (every epoch — the dead one is
+	// unreachable anyway, this reclaims its memory).
+	reg.OnSwap(s.cache.InvalidateGraph)
 	return s
 }
 
@@ -182,6 +194,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/distances", s.instrument("/v1/distances", s.handleDistances))
 	mux.HandleFunc("POST /v1/route", s.instrument("/v1/route", s.handleRoute))
 	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	if s.adminToken != "" {
+		// Lifecycle mutation on the query port, opt-in and token-guarded;
+		// without a token the admin surface exists only via AdminHandler
+		// on a separate private listener.
+		s.mountAdmin(mux, s.requireAdminToken)
+	}
 	return mux
 }
 
@@ -335,7 +353,12 @@ func engineParam(r *http.Request) (rs.Engine, error) {
 // concurrent same-key requests with different overrides share the
 // leader's solve.
 func (s *Server) distances(ctx context.Context, e *Entry, src rs.Vertex, engine rs.Engine) (dist []float64, cached bool, err error) {
-	key := cacheKey{graph: e.Name, src: int32(src)}
+	// The key carries e.Epoch: the whole request already pinned one
+	// epoch at resolve time, so cache hits, coalesced joins, and the
+	// fill below are all scoped to that epoch — a reload mid-request
+	// can neither serve this request a stale vector nor adopt this
+	// request's vector into the new epoch's cache.
+	key := cacheKey{graph: e.Name, epoch: e.Epoch, src: int32(src)}
 	if d, ok := s.cache.Get(key); ok {
 		return d, true, nil
 	}
@@ -480,8 +503,13 @@ type vertexDistance struct {
 }
 
 type distancesResponse struct {
-	Graph     string           `json:"graph"`
-	Source    int64            `json:"source"`
+	Graph  string `json:"graph"`
+	Source int64  `json:"source"`
+	// Epoch is the graph epoch this answer was computed on. Clients
+	// driving hot reloads use it to assert freshness: a response
+	// reporting epoch N carries distances byte-identical to epoch N's
+	// snapshot, never a mix.
+	Epoch     uint64           `json:"epoch,omitempty"`
 	Cached    bool             `json:"cached"`
 	Reached   int              `json:"reached"`
 	Distances []float64        `json:"distances,omitempty"`
@@ -499,9 +527,13 @@ type routeRequest struct {
 }
 
 type routeResponse struct {
-	Graph    string  `json:"graph"`
-	Source   int64   `json:"source"`
-	Target   int64   `json:"target"`
+	Graph  string `json:"graph"`
+	Source int64  `json:"source"`
+	Target int64  `json:"target"`
+	// Epoch is the graph epoch the route was computed on (cache-first
+	// answers report the epoch whose cached vector they used — the key
+	// embeds it, so it is necessarily the request's pinned epoch).
+	Epoch    uint64  `json:"epoch,omitempty"`
 	Distance float64 `json:"distance"` // -1 when unreachable
 	Hops     int     `json:"hops"`
 	Path     []int64 `json:"path,omitempty"`
@@ -538,17 +570,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleReadyz is the routing gate: 503 while the daemon is still
-// loading graphs or draining for shutdown, 200 only when queries will
-// actually be served.
+// handleReadyz is the routing gate, now per-graph: 503 while the
+// daemon is still loading or draining, 503 when graphs are registered
+// but ZERO are serving, 200 "ready" when every graph serves, and 200
+// "degraded" when at least one serves while others are quarantined,
+// failed, or cold — a degraded daemon is still worth routing to. The
+// body carries per-graph states so an operator sees which graph is the
+// problem from the probe alone.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
 	case !s.ready.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+		return
+	}
+	serving, total := s.registry.ReadyCount()
+	states := make(map[string]string, total)
+	for _, h := range s.registry.Health() {
+		states[h.Name] = h.State
+	}
+	body := map[string]any{"graphs": serving, "registered": total}
+	switch {
+	case total > 0 && serving == 0:
+		body["status"] = "unavailable"
+		body["perGraph"] = states
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case serving < total:
+		body["status"] = "degraded"
+		body["perGraph"] = states
+		writeJSON(w, http.StatusOK, body)
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "graphs": s.registry.Len()})
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
 	}
 }
 
@@ -563,7 +618,13 @@ func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
 			infos[i].Landmarks = lb.Landmarks()
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	// health covers every registered graph — including failed and cold
+	// ones that have no serving entry above — with epoch, quarantine
+	// error (classed truncated vs corrupt), and re-probe schedule.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graphs": infos,
+		"health": s.registry.Health(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -620,7 +681,7 @@ func traceParam(r *http.Request) bool {
 // a traced solve's extra clock reads should not pollute the shared
 // cache path timings. The pool still bounds it like any other solve.
 func (s *Server) answerTraced(ctx context.Context, e *Entry, src rs.Vertex, topK int, targets []int64, engine rs.Engine) (distancesResponse, int) {
-	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
+	resp := distancesResponse{Graph: e.Name, Source: int64(src), Epoch: e.Epoch}
 	tb, ok := e.Backend.(TracingBackend)
 	if !ok {
 		resp.Error = fmt.Sprintf("graph %q does not support tracing", e.Name)
@@ -664,7 +725,7 @@ func (s *Server) checkTargets(w http.ResponseWriter, e *Entry, targets []int64) 
 // answerSource runs one source query and shapes the response per the
 // topk/targets options. It is shared by /v1/distances and /v1/batch.
 func (s *Server) answerSource(ctx context.Context, e *Entry, src rs.Vertex, topK int, targets []int64, engine rs.Engine) (distancesResponse, int) {
-	resp := distancesResponse{Graph: e.Name, Source: int64(src)}
+	resp := distancesResponse{Graph: e.Name, Source: int64(src), Epoch: e.Epoch}
 	dist, cached, err := s.distances(ctx, e, src, engine)
 	if err != nil {
 		s.recordSolveError(err)
@@ -747,13 +808,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dst := rs.Vertex(req.Target)
-	resp := routeResponse{Graph: e.Name, Source: req.Source, Target: req.Target}
+	resp := routeResponse{Graph: e.Name, Source: req.Source, Target: req.Target, Epoch: e.Epoch}
 
 	// Cache-first: a full vector for this source already holds every
 	// distance, and reconstruction is a cheap backward walk — answering
 	// here keeps the solve pool free for real misses.
 	if vr, ok := e.Backend.(VectorRouter); ok {
-		if dist, hit := s.cache.Get(cacheKey{graph: e.Name, src: int32(src)}); hit {
+		if dist, hit := s.cache.Get(cacheKey{graph: e.Name, epoch: e.Epoch, src: int32(src)}); hit {
 			path, d, err := vr.PathFromDistances(src, dst, dist)
 			if err == nil {
 				s.metrics.routeCacheHits.Inc()
@@ -840,9 +901,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", perr)
 		return
 	}
-	e, ok := s.registry.Get(req.Graph)
+	e, ok := s.acquireEntry(w, req.Graph)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown graph %q", req.Graph)
 		return
 	}
 	if len(req.Sources) == 0 {
@@ -897,11 +957,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // --- helpers --------------------------------------------------------------
 
-// resolve looks up the graph and validates the source vertex.
+// resolve pins the graph's current epoch and validates the source
+// vertex. The returned Entry is the request's epoch for its whole
+// lifetime: cache lookups, coalescing, the solve, and the response all
+// use it, so a concurrent reload never mixes epochs within a request.
 func (s *Server) resolve(w http.ResponseWriter, graph string, source int64) (*Entry, rs.Vertex, bool) {
-	e, ok := s.registry.Get(graph)
+	e, ok := s.acquireEntry(w, graph)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown graph %q", graph)
 		return nil, 0, false
 	}
 	if source < 0 || source >= int64(e.Backend.NumVertices()) {
@@ -909,6 +971,28 @@ func (s *Server) resolve(w http.ResponseWriter, graph string, source int64) (*En
 		return nil, 0, false
 	}
 	return e, rs.Vertex(source), true
+}
+
+// acquireEntry maps the registry's typed lifecycle errors onto HTTP:
+// unknown → 404; cold/reloading → 503 + Retry-After (the reload runs
+// in the background — the client retries instead of blocking a
+// connection on a multi-second rebuild); never-loaded → 503 with the
+// quarantine cause.
+func (s *Server) acquireEntry(w http.ResponseWriter, graph string) (*Entry, bool) {
+	e, err := s.registry.Acquire(graph)
+	if err == nil {
+		return e, true
+	}
+	switch {
+	case errors.Is(err, ErrGraphUnknown):
+		s.fail(w, http.StatusNotFound, "unknown graph %q", graph)
+	case errors.Is(err, ErrGraphReloading):
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, "graph %q is reloading, retry shortly", graph)
+	default:
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+	}
+	return nil, false
 }
 
 // fail writes an error response; the instrumentation middleware counts

@@ -28,6 +28,17 @@ type GraphLoadStats struct {
 	ColdStartMillis int64  `json:"coldStartMillis"`
 }
 
+// LifecycleStats is the /v1/stats graph-lifecycle section: registry-wide
+// load failures, hot-reload epoch swaps, budget evictions, on-demand
+// cold reloads, and how many graphs are quarantined right now.
+type LifecycleStats struct {
+	LoadFailures int64 `json:"loadFailures"`
+	Reloads      int64 `json:"reloads"`
+	Evictions    int64 `json:"evictions"`
+	ColdReloads  int64 `json:"coldReloads"`
+	Quarantined  int   `json:"quarantined"`
+}
+
 // StatsSnapshot is the JSON body served by GET /v1/stats. The solve and
 // cache counters are the observable contract the tests rely on: N
 // concurrent identical queries must show solves == 1, and a repeated
@@ -70,6 +81,10 @@ type StatsSnapshot struct {
 	// counters over every full solve on the frontier-backed engines.
 	Frontier   FrontierStats             `json:"frontier"`
 	GraphLoads map[string]GraphLoadStats `json:"graphLoads"`
+	// Lifecycle totals the registry's load/reload/eviction events; the
+	// per-graph detail (state, epoch, quarantine error) lives on
+	// /v1/graphs under "health".
+	Lifecycle LifecycleStats `json:"lifecycle"`
 }
 
 // statsSnapshot assembles the full stats body — registry counters plus
@@ -125,6 +140,14 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 			SnapshotBytes:   e.Info.SnapshotBytes,
 			ColdStartMillis: e.Info.ColdStartMillis,
 		}
+	}
+	lc := s.registry.Counters()
+	snap.Lifecycle = LifecycleStats{
+		LoadFailures: lc.LoadFailures,
+		Reloads:      lc.Reloads,
+		Evictions:    lc.Evictions,
+		ColdReloads:  lc.ColdReloads,
+		Quarantined:  s.registry.QuarantinedCount(),
 	}
 	return snap
 }
